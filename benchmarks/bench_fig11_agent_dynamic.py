@@ -1,0 +1,115 @@
+"""Figure 11 — agent-dynamic allocation vs role-dynamic-only.
+
+The agent-dynamic extension (Section 4.1, Algorithm 1) lets idle units
+migrate to loaded agents.  The paper measures its impact on a stream whose
+statistics fluctuate; the benchmark uses a stock stream whose per-type
+rates shift abruptly halfway through the run, invalidating the initial
+allocation.  Shape to hold: the extension boosts throughput in every
+configuration, and (paper Section 5.2.2) the *relative* benefit is
+largest when the parallelism degree is low.
+"""
+
+from __future__ import annotations
+
+from figgrid import BASE_CORES, BASE_LENGTH, BASE_WINDOW, CORES, WINDOWS, write_report
+from repro.bench import (
+    build_query,
+    default_cache,
+    format_series_table,
+    shifted_stock_events,
+)
+from repro.simulator import simulate
+
+_events_cache: list | None = None
+
+
+def _events():
+    global _events_cache
+    if _events_cache is None:
+        _events_cache = shifted_stock_events()
+    return _events_cache
+
+
+def _pair(window: float, cores: int) -> tuple[float, float]:
+    events = _events()
+    spec = build_query("stocks", "seq", BASE_LENGTH, window, events)
+    dynamic = simulate(
+        "hypersonic", spec.pattern, events, num_cores=cores,
+        cache=default_cache(), agent_dynamic=True,
+    )
+    basic = simulate(
+        "hypersonic", spec.pattern, events, num_cores=cores,
+        cache=default_cache(), agent_dynamic=False,
+    )
+    return dynamic.throughput, basic.throughput
+
+
+def test_fig11a_window_sweep(benchmark):
+    """Figure 11(a): throughput vs window, agent-dynamic vs basic."""
+    rows = benchmark.pedantic(
+        lambda: {w: _pair(w, BASE_CORES) for w in WINDOWS},
+        rounds=1, iterations=1,
+    )
+    series = {
+        "agent-dynamic": [d for d, _ in rows.values()],
+        "basic": [b for _, b in rows.values()],
+        "ratio": [d / max(b, 1e-12) for d, b in rows.values()],
+    }
+    write_report(
+        "fig11a_agent_dynamic_window",
+        format_series_table(
+            f"Figure 11(a) — agent-dynamic vs basic, shifting rates "
+            f"(stocks, {BASE_CORES} cores)",
+            "window", list(rows), series, unit="throughput",
+        ),
+    )
+    assert all(ratio > 1.0 for ratio in series["ratio"])
+
+
+def test_fig11b_cores_sweep(benchmark):
+    """Figure 11(b): throughput vs cores, agent-dynamic vs basic."""
+    rows = benchmark.pedantic(
+        lambda: {c: _pair(BASE_WINDOW, c) for c in CORES},
+        rounds=1, iterations=1,
+    )
+    series = {
+        "agent-dynamic": [d for d, _ in rows.values()],
+        "basic": [b for _, b in rows.values()],
+        "ratio": [d / max(b, 1e-12) for d, b in rows.values()],
+    }
+    write_report(
+        "fig11b_agent_dynamic_cores",
+        format_series_table(
+            f"Figure 11(b) — agent-dynamic vs basic, shifting rates "
+            f"(stocks, window {BASE_WINDOW:g})",
+            "cores", list(rows), series, unit="throughput",
+        ),
+    )
+    assert all(ratio > 1.0 for ratio in series["ratio"])
+
+
+def test_fig11_role_dynamic_ablation(benchmark):
+    """Extra ablation (DESIGN.md Section 5): role-dynamic on/off inside
+    agents, without migration — the Section 3.3.2 mechanism alone."""
+
+    def run():
+        events = _events()
+        spec = build_query("stocks", "seq", BASE_LENGTH, BASE_WINDOW, events)
+        dynamic = simulate(
+            "hypersonic", spec.pattern, events, num_cores=BASE_CORES,
+            cache=default_cache(), role_dynamic=True, agent_dynamic=False,
+        )
+        static = simulate(
+            "hypersonic", spec.pattern, events, num_cores=BASE_CORES,
+            cache=default_cache(), role_dynamic=False, agent_dynamic=False,
+        )
+        return dynamic.throughput, static.throughput
+
+    dynamic, static = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "fig11_role_dynamic",
+        f"Role-dynamic ablation (stocks, window {BASE_WINDOW:g}, "
+        f"{BASE_CORES} cores): role-dynamic {dynamic:.4f} vs "
+        f"role-static {static:.4f} -> {dynamic / max(static, 1e-12):.2f}x",
+    )
+    assert dynamic > 0 and static > 0

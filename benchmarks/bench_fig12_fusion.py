@@ -1,0 +1,155 @@
+"""Figure 12 — agent fusion impact on latency (Section 4.2).
+
+The paper fixes a pair of adjacent agents per pattern in advance, fuses
+them at system initialization, and reports up to 2x lower latency in all
+but one configuration, plus a throughput boost from the reclaimed
+execution units.
+
+Fusion targets *lightweight* agents — the paper's example is an agent
+whose only job is forwarding pairs because no condition binds its types.
+The benchmark therefore uses a length-6 pattern whose two middle types
+are rare and unconditioned (the textbook overprovisioning case): with few
+cores, keeping two two-unit agents alive for them starves the heavy
+agents, and fusing the pair frees units exactly as Section 4.2 predicts.
+The effect inverts once cores are plentiful — matching the paper's
+observation that fusion pays off when resources are tight (its one losing
+configuration).
+"""
+
+from __future__ import annotations
+
+from figgrid import write_report
+from repro.bench import default_cache, format_series_table
+from repro.core import AndCondition, CorrelationCondition, Pattern
+from repro.datasets import StockConfig, generate_stock_stream
+from repro.datasets.stocks import calibrate_correlation_threshold
+from repro.simulator import simulate
+
+LENGTH = 6
+FUSE_PAIR = ((3, 4),)  # the two rare, unconditioned middle stages
+FIG12_WINDOWS = (25.0, 30.0, 35.0)
+FIG12_CORES = (6, 8, 12)
+BASE_WINDOW = 30.0
+BASE_CORES = 6
+
+_events_cache: list | None = None
+_pattern_cache: dict[float, Pattern] = {}
+
+
+def _events():
+    global _events_cache
+    if _events_cache is None:
+        rates = (1.0, 1.0, 1.0, 0.08, 0.08, 1.0, 0.6, 0.6)
+        _events_cache = generate_stock_stream(
+            StockConfig(
+                num_events=3500,
+                symbols=tuple(f"S{i}" for i in range(8)),
+                rates=rates,
+                seed=42,
+            )
+        )
+    return _events_cache
+
+
+def _pattern(window: float) -> Pattern:
+    if window not in _pattern_cache:
+        events = _events()
+        sample = events[:2000]
+        types = [f"S{i}" for i in range(LENGTH)]
+        conditions = []
+        for left, right in ((0, 1), (1, 2), (4, 5)):
+            threshold = calibrate_correlation_threshold(
+                sample, (types[left], types[right]), window, 0.2
+            )
+            conditions.append(
+                CorrelationCondition(f"p{left + 1}", f"p{right + 1}", threshold)
+            )
+        _pattern_cache[window] = Pattern.sequence(
+            types, window=window, condition=AndCondition(tuple(conditions)),
+            name="fig12",
+        )
+    return _pattern_cache[window]
+
+
+def _pair(window: float, cores: int):
+    events = _events()
+    pattern = _pattern(window)
+    fused = simulate(
+        "hypersonic", pattern, events, num_cores=cores,
+        cache=default_cache(), agent_dynamic=True,
+        force_fusion_pairs=FUSE_PAIR,
+    )
+    basic = simulate(
+        "hypersonic", pattern, events, num_cores=cores,
+        cache=default_cache(), agent_dynamic=True,
+    )
+    return fused, basic
+
+
+def _report(name: str, title: str, xlabel: str, rows: dict) -> dict:
+    series = {
+        "fused": [f.avg_latency for f, _ in rows.values()],
+        "basic": [b.avg_latency for _, b in rows.values()],
+        "latency_ratio": [
+            b.avg_latency / max(f.avg_latency, 1e-12) for f, b in rows.values()
+        ],
+    }
+    write_report(
+        name,
+        format_series_table(
+            title, xlabel, list(rows), series,
+            unit="virtual time; ratio >1 = fusion faster",
+        ),
+    )
+    return series
+
+
+def test_fig12a_window_sweep(benchmark):
+    """Figure 12(a): latency vs window, fused vs basic, scarce cores."""
+    rows = benchmark.pedantic(
+        lambda: {w: _pair(w, BASE_CORES) for w in FIG12_WINDOWS},
+        rounds=1, iterations=1,
+    )
+    series = _report(
+        "fig12a_fusion_window",
+        f"Figure 12(a) — fusion latency vs window (stocks, length {LENGTH}, "
+        f"{BASE_CORES} cores)",
+        "window", rows,
+    )
+    wins = sum(1 for ratio in series["latency_ratio"] if ratio > 1.0)
+    assert wins >= len(FIG12_WINDOWS) - 1
+
+
+def test_fig12b_cores_sweep(benchmark):
+    """Figure 12(b): latency vs cores — fusion wins while units are
+    scarce, as in all-but-one of the paper's configurations."""
+    rows = benchmark.pedantic(
+        lambda: {c: _pair(BASE_WINDOW, c) for c in FIG12_CORES},
+        rounds=1, iterations=1,
+    )
+    series = _report(
+        "fig12b_fusion_cores",
+        f"Figure 12(b) — fusion latency vs cores (stocks, length {LENGTH}, "
+        f"window {BASE_WINDOW:g})",
+        "cores", rows,
+    )
+    wins = sum(1 for ratio in series["latency_ratio"] if ratio > 1.0)
+    assert wins >= len(FIG12_CORES) - 1
+
+
+def test_fig12_throughput_side_effect(benchmark):
+    """Section 5.2.2 also notes a throughput increase from re-allocating
+    the units fusion frees; record it at the scarce-core base point."""
+
+    def run():
+        fused, basic = _pair(BASE_WINDOW, BASE_CORES)
+        return fused.throughput, basic.throughput
+
+    fused, basic = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "fig12_throughput",
+        f"Fusion throughput side-effect (stocks, length {LENGTH}, window "
+        f"{BASE_WINDOW:g}, {BASE_CORES} cores): fused {fused:.4f} vs basic "
+        f"{basic:.4f} -> {fused / max(basic, 1e-12):.2f}x",
+    )
+    assert fused > basic

@@ -1,0 +1,140 @@
+"""Figure 7 — relative throughput gain over the sequential baseline.
+
+Panels (a)-(c): stock dataset; (d)-(f): sensor dataset; x axes: time
+window, number of cores, pattern length.  The paper's shape to hold:
+HYPERSONIC wins everywhere, beats LLSF by a wide multiple and RIP by an
+even wider one, scales superlinearly with cores, and the gap grows with
+window size and pattern length; the state-based method does not scale
+with cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figgrid import (
+    BASE_CORES,
+    BASE_LENGTH,
+    BASE_WINDOW,
+    CORES,
+    DATASETS,
+    LENGTHS,
+    WINDOWS,
+    cores_sweep,
+    grid_cell,
+    length_sweep,
+    window_sweep,
+    write_report,
+)
+from repro.bench import format_series_table
+
+PARALLEL = ("hypersonic", "state", "rip", "llsf")
+
+
+def _gain_series(sweep: dict) -> dict[str, list[float]]:
+    series: dict[str, list[float]] = {name: [] for name in PARALLEL}
+    for results in sweep.values():
+        baseline = results["sequential"]
+        for name in PARALLEL:
+            series[name].append(results[name].gain_over(baseline))
+    return series
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_window_sweep(benchmark, dataset):
+    """Figures 7(a)/(d): gain vs time window."""
+    sweep = benchmark.pedantic(
+        lambda: window_sweep(dataset), rounds=1, iterations=1
+    )
+    series = _gain_series(sweep)
+    panel = "a" if dataset == "stocks" else "d"
+    write_report(
+        f"fig7{panel}_{dataset}_window",
+        format_series_table(
+            f"Figure 7({panel}) — throughput gain vs window ({dataset}, "
+            f"{BASE_CORES} cores, length {BASE_LENGTH})",
+            "window", list(sweep), series, unit="x over sequential",
+        ),
+    )
+    # Shape: HYPERSONIC dominates the data-parallel baselines at every
+    # window and the lead grows with the window.
+    for index in range(len(WINDOWS)):
+        assert series["hypersonic"][index] > series["llsf"][index]
+        assert series["hypersonic"][index] > series["rip"][index]
+    lead_first = series["hypersonic"][0] / max(series["llsf"][0], 1e-9)
+    lead_last = series["hypersonic"][-1] / max(series["llsf"][-1], 1e-9)
+    assert lead_last > 0.8 * lead_first  # no collapse at large windows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_cores_sweep(benchmark, dataset):
+    """Figures 7(b)/(e): gain vs number of cores (superlinearity)."""
+    sweep = benchmark.pedantic(
+        lambda: cores_sweep(dataset), rounds=1, iterations=1
+    )
+    series = _gain_series(sweep)
+    panel = "b" if dataset == "stocks" else "e"
+    write_report(
+        f"fig7{panel}_{dataset}_cores",
+        format_series_table(
+            f"Figure 7({panel}) — throughput gain vs cores ({dataset}, "
+            f"window {BASE_WINDOW:g}, length {BASE_LENGTH})",
+            "cores", list(sweep), series, unit="x over sequential",
+        ),
+    )
+    gains = series["hypersonic"]
+    assert gains[-1] > gains[0], "HYPERSONIC must scale with cores"
+    # State-parallel cannot use extra cores: flat across the sweep.
+    state = series["state"]
+    assert max(state) < 1.5 * max(min(state), 1e-9)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_length_sweep(benchmark, dataset):
+    """Figures 7(c)/(f): gain vs pattern length."""
+    sweep = benchmark.pedantic(
+        lambda: length_sweep(dataset), rounds=1, iterations=1
+    )
+    series = _gain_series(sweep)
+    panel = "c" if dataset == "stocks" else "f"
+    write_report(
+        f"fig7{panel}_{dataset}_length",
+        format_series_table(
+            f"Figure 7({panel}) — throughput gain vs pattern length "
+            f"({dataset}, window {BASE_WINDOW:g}, {BASE_CORES} cores)",
+            "length", list(sweep), series, unit="x over sequential",
+        ),
+    )
+    for index in range(len(LENGTHS)):
+        assert series["hypersonic"][index] > 1.0
+
+
+def test_fig7_headline_ratios(benchmark):
+    """The paper's headline: HYPERSONIC over LLSF and RIP at the base
+    configuration on both datasets."""
+
+    def collect():
+        rows = {}
+        for dataset in DATASETS:
+            results = grid_cell(dataset, BASE_WINDOW, BASE_CORES, BASE_LENGTH)
+            hyper = results["hypersonic"].throughput
+            rows[dataset] = {
+                "vs_llsf": hyper / max(results["llsf"].throughput, 1e-12),
+                "vs_rip": hyper / max(results["rip"].throughput, 1e-12),
+                "vs_state": hyper / max(results["state"].throughput, 1e-12),
+                "vs_sequential": hyper
+                / max(results["sequential"].throughput, 1e-12),
+            }
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = ["Figure 7 headline ratios (base configuration)"]
+    for dataset, ratios in rows.items():
+        lines.append(
+            f"  {dataset:8s} "
+            + "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
+        )
+    write_report("fig7_headline", "\n".join(lines))
+    for ratios in rows.values():
+        assert ratios["vs_llsf"] > 1.0
+        assert ratios["vs_rip"] > 1.0

@@ -1,0 +1,13 @@
+"""Benchmark collection settings.
+
+The figure benchmarks live in ``bench_*.py`` files with plain ``test_*``
+functions, so plain ``pytest benchmarks/`` collects them.
+"""
+
+import sys
+from pathlib import Path
+
+# Make figgrid importable when pytest is launched from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))
+
+collect_ignore: list[str] = []

@@ -1,0 +1,94 @@
+"""Shared simulation grid for the figure-reproduction benchmarks.
+
+Figures 7 (throughput), 8 (latency), and 9 (memory) report different
+metrics of the *same* runs, so the grid is computed once per benchmark
+session and cached; each bench file formats its own figure from it.
+
+Grid axes follow the paper's sweeps:
+  * time window  — Figures 7(a,d), 8(a,c), 9(a,c)
+  * core count   — Figures 7(b,e), 8(b,d), 9(b,d)
+  * pattern length — Figures 7(c,f)
+on both datasets (stocks, sensors).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import (
+    COMPARED_STRATEGIES,
+    DEFAULT_SCALE,
+    build_query,
+    compare_strategies,
+    sensor_events,
+    stock_events,
+)
+
+WINDOWS = (20.0, 40.0, 80.0)
+CORES = (6, 12, 24)
+LENGTHS = (3, 4, 5)
+BASE_WINDOW = DEFAULT_SCALE.base_window
+BASE_CORES = DEFAULT_SCALE.base_cores
+BASE_LENGTH = DEFAULT_SCALE.base_length
+DATASETS = ("stocks", "sensors")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_grid_cache: dict[tuple, dict] = {}
+_query_cache: dict[tuple, object] = {}
+
+
+def _events_for(dataset: str):
+    if dataset == "stocks":
+        return stock_events()
+    return sensor_events()
+
+
+def _query_for(dataset: str, length: int, window: float):
+    key = (dataset, length, window)
+    if key not in _query_cache:
+        events = _events_for(dataset)
+        _query_cache[key] = build_query(dataset, "seq", length, window, events)
+    return _query_cache[key]
+
+
+def grid_cell(dataset: str, window: float, cores: int, length: int) -> dict:
+    """Results of every compared strategy at one grid point."""
+    key = (dataset, window, cores, length)
+    if key not in _grid_cache:
+        events = _events_for(dataset)
+        spec = _query_for(dataset, length, window)
+        _grid_cache[key] = compare_strategies(
+            spec.pattern, events, cores=cores,
+            strategies=COMPARED_STRATEGIES,
+        )
+    return _grid_cache[key]
+
+
+def window_sweep(dataset: str) -> dict[float, dict]:
+    return {
+        window: grid_cell(dataset, window, BASE_CORES, BASE_LENGTH)
+        for window in WINDOWS
+    }
+
+
+def cores_sweep(dataset: str) -> dict[int, dict]:
+    return {
+        cores: grid_cell(dataset, BASE_WINDOW, cores, BASE_LENGTH)
+        for cores in CORES
+    }
+
+
+def length_sweep(dataset: str) -> dict[int, dict]:
+    return {
+        length: grid_cell(dataset, BASE_WINDOW, BASE_CORES, length)
+        for length in LENGTHS
+    }
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a figure table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

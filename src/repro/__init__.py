@@ -1,0 +1,70 @@
+"""HYPERSONIC reproduction: hybrid two-tier parallel complex event processing.
+
+Reproduction of Yankovitch, Kolchinsky & Schuster, "HYPERSONIC: A Hybrid
+Parallelization Approach for Scalable Complex Event Processing"
+(SIGMOD 2022).  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Headline API
+------------
+>>> from repro import Pattern, detect, detect_hybrid
+>>> pattern = Pattern.sequence(["A", "B", "C"], window=10.0)
+>>> # matches = detect(pattern, events)              # sequential baseline
+>>> # matches = detect_hybrid(pattern, events, 8)    # hybrid engine
+
+Performance experiments run on the execution-unit simulator:
+
+>>> from repro import simulate
+>>> # result = simulate("hypersonic", pattern, events, num_cores=24)
+"""
+
+from repro.core import (
+    AndCondition,
+    AttributeCondition,
+    Condition,
+    CorrelationCondition,
+    Event,
+    EventType,
+    Match,
+    NotCondition,
+    OrCondition,
+    PairwiseCondition,
+    PartialMatch,
+    Pattern,
+    ReproError,
+    TrueCondition,
+    UnaryCondition,
+)
+from repro.engine import SequentialEngine, assert_equivalent, detect
+from repro.hypersonic import HypersonicConfig, HypersonicEngine, detect_hybrid
+from repro.simulator import CacheModel, SimResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndCondition",
+    "AttributeCondition",
+    "Condition",
+    "CorrelationCondition",
+    "Event",
+    "EventType",
+    "Match",
+    "NotCondition",
+    "OrCondition",
+    "PairwiseCondition",
+    "PartialMatch",
+    "Pattern",
+    "ReproError",
+    "TrueCondition",
+    "UnaryCondition",
+    "SequentialEngine",
+    "assert_equivalent",
+    "detect",
+    "HypersonicConfig",
+    "HypersonicEngine",
+    "detect_hybrid",
+    "CacheModel",
+    "SimResult",
+    "simulate",
+    "__version__",
+]

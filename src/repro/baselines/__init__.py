@@ -1,0 +1,18 @@
+"""Baseline CEP parallelization strategies the paper compares against."""
+
+from repro.baselines.llsf import JSQEngine, LLSFEngine, RREngine, WindowSegmentEngine
+from repro.baselines.partitioned import Partition, PartitionedEngine, PartitionMetrics
+from repro.baselines.rip import RIPEngine
+from repro.baselines.state_parallel import StateParallelEngine
+
+__all__ = [
+    "JSQEngine",
+    "LLSFEngine",
+    "RREngine",
+    "WindowSegmentEngine",
+    "Partition",
+    "PartitionedEngine",
+    "PartitionMetrics",
+    "RIPEngine",
+    "StateParallelEngine",
+]

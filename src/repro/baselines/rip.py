@@ -1,0 +1,60 @@
+"""RIP: run-based intra-query parallelism (Balkesen et al., DEBS'13).
+
+RIP divides the input stream into fixed-size *chunks* by event sequence
+number and deals them to execution units round-robin.  Because a match may
+start near the end of a chunk and extend up to one window into the future,
+each chunk's processing run also receives every later event within the
+time window of the chunk's last owned event — the replication that keeps
+detection correct and that makes RIP's duplication factor grow linearly
+with the window (each event is replicated to roughly ``e_i W / B``
+neighbouring runs), which is why it fails to scale with window size in the
+paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.events import Event
+from repro.core.patterns import Pattern
+from repro.baselines.partitioned import Partition, PartitionedEngine
+
+__all__ = ["RIPEngine"]
+
+
+class RIPEngine(PartitionedEngine):
+    """Round-robin chunked data parallelism with window replication."""
+
+    def __init__(self, pattern: Pattern, num_units: int,
+                 chunk_size: int = 256) -> None:
+        super().__init__(pattern, num_units)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+
+    def partitions(self, events: Sequence[Event]) -> Iterator[Partition]:
+        window = self.pattern.window
+        chunk = self.chunk_size
+        for index, start in enumerate(range(0, len(events), chunk)):
+            end = min(start + chunk, len(events))
+            last_owned = events[end - 1]
+            horizon = last_owned.timestamp + window
+            extended_end = end
+            while (
+                extended_end < len(events)
+                and events[extended_end].timestamp <= horizon
+            ):
+                extended_end += 1
+            first = events[start]
+            yield Partition(
+                index=index,
+                events=tuple(events[start:extended_end]),
+                own_start=first.timestamp,
+                own_start_id=first.event_id,
+                own_end=last_owned.timestamp,
+                own_end_id=last_owned.event_id + 1,
+            )
+
+    def assign_unit(self, partition: Partition,
+                    unit_loads: list[float]) -> int:
+        return partition.index % self.num_units

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the library's main entry points without writing
+code:
+
+``generate``
+    Produce a synthetic dataset (stocks or sensors) as a stream CSV.
+
+``detect``
+    Run a Table 2 query template over a stream CSV with a chosen engine
+    (sequential, hybrid, or threads) and print the matches found.
+
+``simulate``
+    Race parallelization strategies over a stream CSV on the
+    execution-unit simulator and print the comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.datasets import (
+    SensorConfig,
+    StockConfig,
+    generate_sensor_stream,
+    generate_stock_stream,
+    load_stream,
+    save_stream,
+)
+from repro.simulator import CacheModel, simulate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HYPERSONIC reproduction command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="generate a synthetic stream")
+    gen.add_argument("dataset", choices=["stocks", "sensors"])
+    gen.add_argument("output", help="CSV path to write")
+    gen.add_argument("--events", type=int, default=5000)
+    gen.add_argument("--rate", type=float, default=0.6,
+                     help="per-type arrival rate")
+    gen.add_argument("--types", type=int, default=8,
+                     help="number of event types (stocks only)")
+    gen.add_argument("--seed", type=int, default=42)
+
+    det = commands.add_parser("detect", help="detect a query template")
+    det.add_argument("dataset", choices=["stocks", "sensors"])
+    det.add_argument("input", help="stream CSV produced by `generate`")
+    det.add_argument("--template", choices=["seq", "kleene", "negation"],
+                     default="seq")
+    det.add_argument("--length", type=int, default=3)
+    det.add_argument("--window", type=float, default=30.0)
+    det.add_argument("--selectivity", type=float, default=0.2)
+    det.add_argument("--engine", choices=["sequential", "hybrid", "threads"],
+                     default="sequential")
+    det.add_argument("--units", type=int, default=4,
+                     help="execution units for the hybrid engine")
+    det.add_argument("--show", type=int, default=5,
+                     help="matches to print")
+
+    sim = commands.add_parser(
+        "simulate", help="compare strategies on the simulator"
+    )
+    sim.add_argument("dataset", choices=["stocks", "sensors"])
+    sim.add_argument("input", help="stream CSV produced by `generate`")
+    sim.add_argument("--template", choices=["seq", "kleene", "negation"],
+                     default="seq")
+    sim.add_argument("--length", type=int, default=3)
+    sim.add_argument("--window", type=float, default=30.0)
+    sim.add_argument("--selectivity", type=float, default=0.2)
+    sim.add_argument("--cores", type=int, default=8)
+    sim.add_argument(
+        "--strategies",
+        default="sequential,hypersonic,rip,llsf",
+        help="comma-separated strategy list",
+    )
+    return parser
+
+
+def _build_query(args, events):
+    from repro.workloads import (
+        sensor_kleene_query,
+        sensor_negation_query,
+        sensor_sequence_query,
+        stock_kleene_query,
+        stock_negation_query,
+        stock_sequence_query,
+    )
+
+    sample = events[: max(1000, len(events) // 2)]
+    present = []
+    for event in events:
+        if event.type.name not in present:
+            present.append(event.type.name)
+    length = 6 if args.template == "kleene" else args.length
+    types = present[:length]
+    if len(types) < length:
+        raise SystemExit(
+            f"stream has only {len(types)} event types; "
+            f"need {length} for this template"
+        )
+    builders = {
+        ("stocks", "seq"): stock_sequence_query,
+        ("stocks", "kleene"): stock_kleene_query,
+        ("stocks", "negation"): stock_negation_query,
+        ("sensors", "seq"): sensor_sequence_query,
+        ("sensors", "kleene"): sensor_kleene_query,
+        ("sensors", "negation"): sensor_negation_query,
+    }
+    builder = builders[(args.dataset, args.template)]
+    return builder(
+        types, args.window, sample, selectivity=args.selectivity
+    )
+
+
+def _command_generate(args) -> int:
+    if args.dataset == "stocks":
+        events = generate_stock_stream(
+            StockConfig(
+                num_events=args.events,
+                symbols=tuple(f"S{i}" for i in range(args.types)),
+                rates=args.rate,
+                seed=args.seed,
+            )
+        )
+    else:
+        events = generate_sensor_stream(
+            SensorConfig(
+                num_events=args.events, rates=args.rate, seed=args.seed
+            )
+        )
+    save_stream(events, args.output)
+    print(f"wrote {len(events)} events to {args.output}")
+    return 0
+
+
+def _command_detect(args) -> int:
+    events = load_stream(args.input)
+    spec = _build_query(args, events)
+    print(f"query: {spec.pattern.describe()}")
+    if args.engine == "sequential":
+        from repro.engine import detect
+
+        matches = detect(spec.pattern, events)
+    elif args.engine == "hybrid":
+        from repro.hypersonic import detect_hybrid
+
+        matches = detect_hybrid(spec.pattern, events, num_units=args.units)
+    else:
+        from repro.runtime import ThreadedPipelineEngine
+
+        matches = ThreadedPipelineEngine(spec.pattern).run(events)
+    print(f"{len(matches)} matches ({args.engine} engine)")
+    for match in matches[: args.show]:
+        positions = ", ".join(
+            f"{name}@{bound[0].timestamp:.1f}x{len(bound)}"
+            if isinstance(bound, tuple)
+            else f"{name}@{bound.timestamp:.1f}"
+            for name, bound in sorted(match.binding.items())
+        )
+        print(f"  {positions}")
+    return 0
+
+
+def _command_simulate(args) -> int:
+    events = load_stream(args.input)
+    spec = _build_query(args, events)
+    print(f"query: {spec.pattern.describe()}")
+    cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
+    results = {}
+    for strategy in args.strategies.split(","):
+        strategy = strategy.strip()
+        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        results[strategy] = simulate(
+            strategy, spec.pattern, events, num_cores=args.cores,
+            cache=cache, **kwargs,
+        )
+    baseline = results.get("sequential")
+    header = (
+        f"{'strategy':12s} {'throughput':>12s} {'gain':>7s} "
+        f"{'latency':>10s} {'peak mem':>10s} {'matches':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        gain = result.gain_over(baseline) if baseline else float("nan")
+        print(
+            f"{name:12s} {result.throughput:12.4f} {gain:6.1f}x "
+            f"{result.avg_latency:10.0f} "
+            f"{result.peak_memory_bytes / 1024:9.1f}K {result.matches:8d}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "detect": _command_detect,
+        "simulate": _command_simulate,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

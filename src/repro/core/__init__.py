@@ -1,0 +1,67 @@
+"""Core CEP model: events, patterns, conditions, matches, chain NFAs."""
+
+from repro.core.conditions import (
+    AndCondition,
+    AttributeCondition,
+    Condition,
+    CorrelationCondition,
+    NotCondition,
+    OrCondition,
+    PairwiseCondition,
+    TrueCondition,
+    UnaryCondition,
+    pearson_correlation,
+)
+from repro.core.errors import (
+    AllocationError,
+    ConditionError,
+    EngineError,
+    PatternError,
+    ReproError,
+    SimulationError,
+    StreamError,
+)
+from repro.core.events import (
+    Event,
+    EventType,
+    stream_from_records,
+    validate_stream_order,
+)
+from repro.core.matches import Match, PartialMatch, match_key
+from repro.core.nfa import ChainNFA, NegationGuard, Stage, compile_pattern
+from repro.core.patterns import ItemKind, Operator, Pattern, PatternItem
+
+__all__ = [
+    "AndCondition",
+    "AttributeCondition",
+    "Condition",
+    "CorrelationCondition",
+    "NotCondition",
+    "OrCondition",
+    "PairwiseCondition",
+    "TrueCondition",
+    "UnaryCondition",
+    "pearson_correlation",
+    "AllocationError",
+    "ConditionError",
+    "EngineError",
+    "PatternError",
+    "ReproError",
+    "SimulationError",
+    "StreamError",
+    "Event",
+    "EventType",
+    "stream_from_records",
+    "validate_stream_order",
+    "Match",
+    "PartialMatch",
+    "match_key",
+    "ChainNFA",
+    "NegationGuard",
+    "Stage",
+    "compile_pattern",
+    "ItemKind",
+    "Operator",
+    "Pattern",
+    "PatternItem",
+]

@@ -1,0 +1,316 @@
+"""Boolean conditions over events participating in a pattern.
+
+A condition constrains the events bound to pattern positions.  Conditions
+are the ``C = {C_1..C_k}`` component of a pattern (paper Section 2.1) and
+are verified at NFA states; the fraction of comparisons a condition accepts
+is the *state selectivity* ``s_i`` in the cost model.
+
+The public classes form a small algebra:
+
+* :class:`AttributeCondition` — binary predicate over attributes of two
+  pattern positions (the common case in the paper's queries, e.g.
+  ``Corr(S_{i-1}.history, S_i.history) > T``).
+* :class:`UnaryCondition` — predicate over a single position.
+* :class:`AndCondition` / :class:`OrCondition` / :class:`NotCondition` —
+  combinators.
+* :class:`TrueCondition` — always accepts (useful in tests and as a default).
+
+Each condition reports which pattern positions it ``depends_on`` so the NFA
+compiler can attach it to the earliest state at which all of its positions
+are bound — conditions are thus verified as early as possible, exactly like
+the per-state predicate placement the paper assumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.errors import ConditionError
+from repro.core.events import Event
+
+__all__ = [
+    "Condition",
+    "TrueCondition",
+    "UnaryCondition",
+    "AttributeCondition",
+    "PairwiseCondition",
+    "AndCondition",
+    "OrCondition",
+    "NotCondition",
+    "CorrelationCondition",
+    "pearson_correlation",
+]
+
+# A binding maps pattern position name -> the event(s) bound there.  Kleene
+# positions bind a tuple of events; plain positions bind a single event.
+Binding = Mapping[str, Any]
+
+
+class Condition(abc.ABC):
+    """Base class for all pattern conditions."""
+
+    @abc.abstractmethod
+    def depends_on(self) -> frozenset[str]:
+        """Names of pattern positions this condition reads."""
+
+    @abc.abstractmethod
+    def evaluate(self, binding: Binding) -> bool:
+        """Evaluate against a (possibly partial) binding.
+
+        All positions in :meth:`depends_on` are guaranteed present when an
+        engine calls this; evaluating with missing positions raises
+        ``KeyError`` by design.
+        """
+
+    def __and__(self, other: "Condition") -> "AndCondition":
+        return AndCondition((self, other))
+
+    def __or__(self, other: "Condition") -> "OrCondition":
+        return OrCondition((self, other))
+
+    def __invert__(self) -> "NotCondition":
+        return NotCondition(self)
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """A condition that accepts every binding."""
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, binding: Binding) -> bool:
+        return True
+
+
+def _first_event(bound: Any) -> Event:
+    """Kleene positions bind tuples; reduce to a representative event."""
+    if isinstance(bound, tuple):
+        if not bound:
+            raise ConditionError("empty Kleene binding reached a condition")
+        return bound[-1]
+    return bound
+
+
+@dataclass(frozen=True)
+class UnaryCondition(Condition):
+    """Predicate over the attributes of a single position.
+
+    ``predicate`` receives the bound :class:`Event`.  ``name`` is used in
+    ``repr`` and error messages only.
+    """
+
+    position: str
+    predicate: Callable[[Event], bool]
+    name: str = "unary"
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset({self.position})
+
+    def evaluate(self, binding: Binding) -> bool:
+        return bool(self.predicate(_first_event(binding[self.position])))
+
+    def __repr__(self) -> str:
+        return f"UnaryCondition({self.name}:{self.position})"
+
+
+@dataclass(frozen=True)
+class PairwiseCondition(Condition):
+    """Predicate over two bound events.
+
+    The general two-position condition; :class:`AttributeCondition` and
+    :class:`CorrelationCondition` are convenience specialisations.
+    """
+
+    left: str
+    right: str
+    predicate: Callable[[Event, Event], bool]
+    name: str = "pairwise"
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def evaluate(self, binding: Binding) -> bool:
+        return bool(
+            self.predicate(
+                _first_event(binding[self.left]), _first_event(binding[self.right])
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"PairwiseCondition({self.name}:{self.left},{self.right})"
+
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class AttributeCondition(Condition):
+    """``left.attr <op> right.attr`` — the sensor-query predicate form.
+
+    Example: the paper's sensor queries use
+    ``S_i.distance > S_{i-1}.distance``; that is
+    ``AttributeCondition("s_i", "distance", ">", "s_im1", "distance")``.
+    """
+
+    left: str
+    left_attribute: str
+    operator: str
+    right: str
+    right_attribute: str
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ConditionError(
+                f"unknown operator {self.operator!r}; "
+                f"expected one of {sorted(_OPERATORS)}"
+            )
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def evaluate(self, binding: Binding) -> bool:
+        left_event = _first_event(binding[self.left])
+        right_event = _first_event(binding[self.right])
+        try:
+            lhs = left_event[self.left_attribute]
+            rhs = right_event[self.right_attribute]
+        except KeyError as exc:
+            raise ConditionError(
+                f"missing attribute {exc} on event while evaluating "
+                f"{self.left}.{self.left_attribute} {self.operator} "
+                f"{self.right}.{self.right_attribute}"
+            ) from exc
+        return _OPERATORS[self.operator](lhs, rhs)
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.left}.{self.left_attribute} {self.operator} "
+            f"{self.right}.{self.right_attribute})"
+        )
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson's correlation coefficient of two equal-length sequences.
+
+    Pure-Python implementation (no numpy dependency in the core library).
+    Returns 0.0 when either sequence is constant, mirroring the convention
+    used for the stock-history predicate: a flat price history correlates
+    with nothing.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ConditionError(
+            f"correlation needs equal-length sequences, got {n} and {len(ys)}"
+        )
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sxx = syy = 0.0
+    for x, y in zip(xs, ys):
+        dx = x - mean_x
+        dy = y - mean_y
+        cov += dx * dy
+        sxx += dx * dx
+        syy += dy * dy
+    if sxx == 0.0 or syy == 0.0:
+        return 0.0
+    return cov / (sxx * syy) ** 0.5
+
+
+@dataclass(frozen=True)
+class CorrelationCondition(Condition):
+    """``Corr(left.attr, right.attr) > threshold`` — the stock-query form.
+
+    The paper augments every stock event with a ``history`` attribute holding
+    the last 20 recorded prices and accepts pairs whose Pearson correlation
+    exceeds a threshold ``T`` (Section 5.1).
+    """
+
+    left: str
+    right: str
+    threshold: float
+    attribute: str = "history"
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def evaluate(self, binding: Binding) -> bool:
+        left_event = _first_event(binding[self.left])
+        right_event = _first_event(binding[self.right])
+        corr = pearson_correlation(
+            left_event[self.attribute], right_event[self.attribute]
+        )
+        return corr > self.threshold
+
+    def __repr__(self) -> str:
+        return f"(Corr({self.left},{self.right}) > {self.threshold:g})"
+
+
+@dataclass(frozen=True)
+class AndCondition(Condition):
+    """Conjunction of sub-conditions (short-circuiting)."""
+
+    parts: tuple[Condition, ...] = field(default=())
+
+    def depends_on(self) -> frozenset[str]:
+        deps: frozenset[str] = frozenset()
+        for part in self.parts:
+            deps |= part.depends_on()
+        return deps
+
+    def evaluate(self, binding: Binding) -> bool:
+        return all(part.evaluate(binding) for part in self.parts)
+
+    def flattened(self) -> tuple[Condition, ...]:
+        """Flatten nested conjunctions into a single tuple of conjuncts.
+
+        The NFA compiler uses this so each conjunct can be attached to the
+        earliest state where its dependencies are bound.
+        """
+        parts: list[Condition] = []
+        for part in self.parts:
+            if isinstance(part, AndCondition):
+                parts.extend(part.flattened())
+            else:
+                parts.append(part)
+        return tuple(parts)
+
+
+@dataclass(frozen=True)
+class OrCondition(Condition):
+    """Disjunction of sub-conditions (short-circuiting)."""
+
+    parts: tuple[Condition, ...] = field(default=())
+
+    def depends_on(self) -> frozenset[str]:
+        deps: frozenset[str] = frozenset()
+        for part in self.parts:
+            deps |= part.depends_on()
+        return deps
+
+    def evaluate(self, binding: Binding) -> bool:
+        return any(part.evaluate(binding) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class NotCondition(Condition):
+    """Negation of a sub-condition."""
+
+    inner: Condition
+
+    def depends_on(self) -> frozenset[str]:
+        return self.inner.depends_on()
+
+    def evaluate(self, binding: Binding) -> bool:
+        return not self.inner.evaluate(binding)

@@ -1,0 +1,296 @@
+"""Pattern model (paper Section 2.1).
+
+A pattern combines
+
+* a *structure*: an expression over the operators SEQ, AND, OR, NOT and
+  Kleene closure (KL) applied to event types,
+* a set of Boolean *conditions* over the participating events, and
+* a *time window* ``W`` bounding the timestamp spread of a match.
+
+This reproduction follows the paper's scope: flat patterns — a single
+top-level operator over event types, where individual positions may carry a
+``KLEENE`` or ``NEGATED`` modifier (Figure 2 shows exactly these three NFA
+shapes).  The skip-till-any-match selection strategy is assumed throughout,
+as in the paper (Section 2.1), which makes it the hardest case to support.
+
+Positions
+---------
+Every operand of the structure is a :class:`PatternItem` with a unique
+*position name* used by conditions to refer to the event bound there.  By
+default positions are named ``p1, p2, ...`` in declaration order.
+
+Example
+-------
+The warehouse pattern "a sequence of an order, a removal and a delivery of
+the same item within one hour"::
+
+    pattern = Pattern.sequence(
+        ["O", "R", "D"],
+        window=3600.0,
+        condition=AndCondition((
+            AttributeCondition("p1", "item", "==", "p2", "item"),
+            AttributeCondition("p2", "item", "==", "p3", "item"),
+        )),
+    )
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.conditions import AndCondition, Condition, TrueCondition
+from repro.core.errors import PatternError
+from repro.core.events import EventType
+
+__all__ = ["Operator", "ItemKind", "PatternItem", "Pattern"]
+
+
+class Operator(enum.Enum):
+    """Top-level pattern operators."""
+
+    SEQ = "SEQ"
+    AND = "AND"
+    OR = "OR"
+
+
+class ItemKind(enum.Enum):
+    """Per-position modifiers."""
+
+    PRIMARY = "primary"
+    KLEENE = "kleene"
+    NEGATED = "negated"
+
+
+@dataclass(frozen=True)
+class PatternItem:
+    """One operand of a pattern structure.
+
+    ``name`` is the position name conditions use.  ``kind`` marks Kleene
+    closure / negation positions.
+    """
+
+    name: str
+    event_type: EventType
+    kind: ItemKind = ItemKind.PRIMARY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PatternError("pattern position name must be non-empty")
+
+    @property
+    def is_kleene(self) -> bool:
+        return self.kind is ItemKind.KLEENE
+
+    @property
+    def is_negated(self) -> bool:
+        return self.kind is ItemKind.NEGATED
+
+    def __repr__(self) -> str:
+        marker = {"primary": "", "kleene": "+", "negated": "!"}[self.kind.value]
+        return f"{marker}{self.event_type.name}:{self.name}"
+
+
+def _coerce_type(value: EventType | str) -> EventType:
+    return value if isinstance(value, EventType) else EventType(value)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A flat CEP pattern ``FP = {E, O, W, C}``.
+
+    Attributes
+    ----------
+    operator:
+        The top-level operator combining the items.
+    items:
+        The operand positions in declaration order.  For ``SEQ`` the order
+        is the required temporal order of the *positive* positions; negated
+        positions express "no such event occurs between its neighbours".
+    window:
+        The time window ``W``: a match's events' timestamps may span at most
+        this much.
+    condition:
+        The conjunction of the user's conditions.  ``TrueCondition`` if the
+        pattern is unconditioned.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    operator: Operator
+    items: tuple[PatternItem, ...]
+    window: float
+    condition: Condition = field(default_factory=TrueCondition)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise PatternError(f"window must be positive, got {self.window}")
+        if not self.items:
+            raise PatternError("pattern needs at least one item")
+        names = [item.name for item in self.items]
+        if len(set(names)) != len(names):
+            raise PatternError(f"duplicate position names in pattern: {names}")
+        positives = self.positive_items()
+        if not positives:
+            raise PatternError("pattern needs at least one non-negated item")
+        if self.items[0].is_negated or self.items[-1].is_negated:
+            # The paper's chain NFA expresses negation as "no C between/after
+            # specific neighbours" (Fig. 2(c)); leading negation has no left
+            # neighbour and is equivalent to a shorter pattern, so reject it
+            # to keep semantics unambiguous.  Trailing negation is allowed in
+            # the paper's Fig. 2(c) shape; we support it.
+            if self.items[0].is_negated:
+                raise PatternError("pattern must not start with a negated item")
+        if self.operator is not Operator.SEQ:
+            for item in self.items:
+                if item.kind is not ItemKind.PRIMARY:
+                    raise PatternError(
+                        f"{self.operator.value} patterns support only primary "
+                        f"items; got {item!r}"
+                    )
+        unknown = self.condition.depends_on() - set(names)
+        if unknown:
+            raise PatternError(
+                f"condition references unknown positions: {sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                       #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_items(
+        types: Sequence[EventType | str],
+        kleene: Iterable[int] = (),
+        negated: Iterable[int] = (),
+        names: Sequence[str] | None = None,
+    ) -> tuple[PatternItem, ...]:
+        kleene_set = set(kleene)
+        negated_set = set(negated)
+        overlap = kleene_set & negated_set
+        if overlap:
+            raise PatternError(
+                f"positions {sorted(overlap)} cannot be both Kleene and negated"
+            )
+        items = []
+        for index, type_spec in enumerate(types):
+            if names is not None:
+                name = names[index]
+            else:
+                name = f"p{index + 1}"
+            if index in kleene_set:
+                kind = ItemKind.KLEENE
+            elif index in negated_set:
+                kind = ItemKind.NEGATED
+            else:
+                kind = ItemKind.PRIMARY
+            items.append(PatternItem(name, _coerce_type(type_spec), kind))
+        return tuple(items)
+
+    @classmethod
+    def sequence(
+        cls,
+        types: Sequence[EventType | str],
+        window: float,
+        condition: Condition | None = None,
+        kleene: Iterable[int] = (),
+        negated: Iterable[int] = (),
+        names: Sequence[str] | None = None,
+        name: str = "",
+    ) -> "Pattern":
+        """Build a SEQ pattern.
+
+        *kleene* and *negated* are 0-based indexes into *types* marking which
+        positions carry the respective modifier.
+        """
+        return cls(
+            operator=Operator.SEQ,
+            items=cls._build_items(types, kleene, negated, names),
+            window=window,
+            condition=condition if condition is not None else TrueCondition(),
+            name=name,
+        )
+
+    @classmethod
+    def conjunction(
+        cls,
+        types: Sequence[EventType | str],
+        window: float,
+        condition: Condition | None = None,
+        names: Sequence[str] | None = None,
+        name: str = "",
+    ) -> "Pattern":
+        """Build an AND pattern (any temporal order, all types present)."""
+        return cls(
+            operator=Operator.AND,
+            items=cls._build_items(types, names=names),
+            window=window,
+            condition=condition if condition is not None else TrueCondition(),
+            name=name,
+        )
+
+    @classmethod
+    def disjunction(
+        cls,
+        types: Sequence[EventType | str],
+        window: float,
+        condition: Condition | None = None,
+        names: Sequence[str] | None = None,
+        name: str = "",
+    ) -> "Pattern":
+        """Build an OR pattern (any single listed type forms a match)."""
+        return cls(
+            operator=Operator.OR,
+            items=cls._build_items(types, names=names),
+            window=window,
+            condition=condition if condition is not None else TrueCondition(),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def positive_items(self) -> tuple[PatternItem, ...]:
+        """Items that contribute events to a match (non-negated)."""
+        return tuple(item for item in self.items if not item.is_negated)
+
+    def negated_items(self) -> tuple[PatternItem, ...]:
+        return tuple(item for item in self.items if item.is_negated)
+
+    def kleene_items(self) -> tuple[PatternItem, ...]:
+        return tuple(item for item in self.items if item.is_kleene)
+
+    @property
+    def length(self) -> int:
+        """Pattern length in the paper's sense: number of event types."""
+        return len(self.items)
+
+    def event_types(self) -> tuple[EventType, ...]:
+        return tuple(item.event_type for item in self.items)
+
+    def item_by_name(self, name: str) -> PatternItem:
+        for item in self.items:
+            if item.name == name:
+                return item
+        raise PatternError(f"no position named {name!r} in pattern")
+
+    def conjuncts(self) -> tuple[Condition, ...]:
+        """The flattened list of conjunct conditions.
+
+        A plain (non-AND) condition is returned as a single conjunct;
+        ``TrueCondition`` yields an empty tuple.
+        """
+        if isinstance(self.condition, TrueCondition):
+            return ()
+        if isinstance(self.condition, AndCondition):
+            return self.condition.flattened()
+        return (self.condition,)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used by the bench reports."""
+        body = ", ".join(repr(item) for item in self.items)
+        label = self.name or "pattern"
+        return f"{label}: {self.operator.value}({body}) within {self.window:g}"

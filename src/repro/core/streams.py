@@ -1,0 +1,91 @@
+"""Stream utilities: merging, filtering, and bounded inspection.
+
+These helpers operate on plain event iterables so they compose with any
+source — the synthetic dataset generators, lists in tests, or files loaded
+via :mod:`repro.datasets.loader`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.events import Event
+
+__all__ = [
+    "merge_streams",
+    "filter_types",
+    "take",
+    "substream_rates",
+    "split_by_type",
+    "throttle",
+]
+
+
+def merge_streams(*streams: Iterable[Event]) -> Iterator[Event]:
+    """Merge temporally ordered streams into one ordered stream.
+
+    Ties are broken by ``event_id`` so the merge is deterministic and
+    consistent with the library-wide stream order.
+    """
+    keyed = (
+        ((event.timestamp, event.event_id), event)
+        for event in heapq.merge(
+            *streams, key=lambda event: (event.timestamp, event.event_id)
+        )
+    )
+    for _key, event in keyed:
+        yield event
+
+
+def filter_types(stream: Iterable[Event], type_names: Sequence[str]) -> Iterator[Event]:
+    """Keep only events whose type is in *type_names*."""
+    wanted = frozenset(type_names)
+    return (event for event in stream if event.type.name in wanted)
+
+
+def take(stream: Iterable[Event], count: int) -> list[Event]:
+    """Materialise the first *count* events of a stream."""
+    return list(itertools.islice(stream, count))
+
+
+def split_by_type(events: Iterable[Event]) -> dict[str, list[Event]]:
+    """Partition events by type name, preserving order — the splitter's job
+    done eagerly (useful in tests and statistics collection)."""
+    buckets: dict[str, list[Event]] = {}
+    for event in events:
+        buckets.setdefault(event.type.name, []).append(event)
+    return buckets
+
+
+def substream_rates(
+    events: Sequence[Event],
+    type_names: Iterable[str] | None = None,
+) -> dict[str, float]:
+    """Average arrival rate ``e_i`` per event type over the sample's span.
+
+    Rates are events per time unit, measured over the full timestamp span of
+    the sample.  With fewer than two events (or zero span) every present
+    type gets rate 0.0 — callers should sample enough events for stable
+    statistics, as the paper does in its preprocessing step (Section 5.1).
+    """
+    if not events:
+        return {name: 0.0 for name in (type_names or ())}
+    span = events[-1].timestamp - events[0].timestamp
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.type.name] = counts.get(event.type.name, 0) + 1
+    names = set(counts)
+    if type_names is not None:
+        names |= set(type_names)
+    if span <= 0:
+        return {name: 0.0 for name in names}
+    return {name: counts.get(name, 0) / span for name in names}
+
+
+def throttle(
+    stream: Iterable[Event], predicate: Callable[[Event], bool]
+) -> Iterator[Event]:
+    """Drop events failing *predicate* (generic filtering helper)."""
+    return (event for event in stream if predicate(event))

@@ -1,0 +1,32 @@
+"""HYPERSONIC cost model: load, allocation, memory, statistics estimation."""
+
+from repro.costmodel.memory import AgentMemory, expected_memory, total_expected_memory
+from repro.costmodel.model import (
+    AgentLoad,
+    CostParameters,
+    LoadModel,
+    WorkloadStatistics,
+    average_match_sizes,
+    kleene_match_rate,
+    match_arrival_rates,
+    output_rates,
+    proportional_allocation,
+)
+from repro.costmodel.statistics import estimate_statistics, statistics_from_sample
+
+__all__ = [
+    "AgentMemory",
+    "expected_memory",
+    "total_expected_memory",
+    "AgentLoad",
+    "CostParameters",
+    "LoadModel",
+    "WorkloadStatistics",
+    "average_match_sizes",
+    "kleene_match_rate",
+    "match_arrival_rates",
+    "output_rates",
+    "proportional_allocation",
+    "estimate_statistics",
+    "statistics_from_sample",
+]

@@ -1,0 +1,84 @@
+"""Memory-consumption model (paper Section 3.4, Theorem 6).
+
+The expected memory footprint of a HYPERSONIC instance is
+
+    sum_i ( e_i v_i W  +  sum_{j<i} e_j v_j W  +  (e_i W + m_i a_i W) p )
+
+per agent ``i``: its agent-global buffer holds its own type's events plus
+all events arriving inside partial matches from earlier agents, while the
+event buffer and match buffer hold only pointers (``p`` bytes each, with a
+partial match holding ``a_i`` pointers on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.model import (
+    CostParameters,
+    WorkloadStatistics,
+    average_match_sizes,
+    match_arrival_rates,
+)
+
+__all__ = ["AgentMemory", "expected_memory"]
+
+
+@dataclass(frozen=True)
+class AgentMemory:
+    """Expected steady-state memory of one agent, in bytes."""
+
+    agent: int
+    agb_bytes: float        # agent-global buffer: actual event payloads
+    eb_bytes: float         # event buffer: pointers to own-type events
+    mb_bytes: float         # match buffer: a_i pointers per buffered match
+
+    @property
+    def total(self) -> float:
+        return self.agb_bytes + self.eb_bytes + self.mb_bytes
+
+
+def expected_memory(
+    stats: WorkloadStatistics,
+    window: float,
+    costs: CostParameters | None = None,
+    kleene_stages: frozenset[int] = frozenset(),
+) -> list[AgentMemory]:
+    """Theorem 6 evaluated per agent.
+
+    Agent ``j`` (0-based) consumes events of stage ``j+1`` and receives
+    matches covering stages ``0..j``; its AGB therefore stores payloads of
+    types ``0..j+1``.
+    """
+    costs = costs if costs is not None else CostParameters()
+    sizes = stats.sizes_or_default()
+    arrival = match_arrival_rates(stats, window, kleene_stages)
+    match_sizes = average_match_sizes(stats, window, kleene_stages)
+    pointer = costs.pointer_size
+    result: list[AgentMemory] = []
+    for agent in range(len(arrival)):
+        stage = agent + 1
+        own = stats.rates[stage] * sizes[stage] * window
+        upstream = sum(
+            stats.rates[j] * sizes[j] * window for j in range(stage)
+        )
+        eb = stats.rates[stage] * window * pointer
+        mb = arrival[agent] * window * match_sizes[agent] * pointer
+        result.append(
+            AgentMemory(agent=agent, agb_bytes=own + upstream,
+                        eb_bytes=eb, mb_bytes=mb)
+        )
+    return result
+
+
+def total_expected_memory(
+    stats: WorkloadStatistics,
+    window: float,
+    costs: CostParameters | None = None,
+    kleene_stages: frozenset[int] = frozenset(),
+) -> float:
+    """System-wide expected memory in bytes (sum over agents)."""
+    return sum(
+        memory.total
+        for memory in expected_memory(stats, window, costs, kleene_stages)
+    )

@@ -1,0 +1,400 @@
+"""The HYPERSONIC cost model (paper Sections 3.3–3.4, Appendix A).
+
+Implements the closed-form load model the outer load balancer uses:
+
+* ``m_i`` — partial-match arrival rate into agent ``A_i`` (Theorem 2), with
+  the Kleene-closure variant (Theorem 4),
+* ``comp_i = 2 c_i e_i m_i W`` — computational load,
+* ``sync_i = acc_i b_i + q_i m_{i+1}`` — synchronization load (Theorem 3),
+* ``load_i = comp_i + sync_i`` and the proportional unit allocation
+  ``|U_i| = load_i / sum(load_j) * |U|`` (Theorem 1),
+* ``a_i`` — average events per partial match (Theorem 5), feeding the
+  memory model in :mod:`repro.costmodel.memory` (Theorem 6).
+
+Notation follows the paper's Table 1.  Agents are numbered ``i = 2..m+1``
+in the paper (agent ``A_i`` consumes events of type ``E_i``); here we index
+agents ``0..m-1`` where agent ``j`` corresponds to NFA stage ``j+1`` — i.e.
+agent 0 is the paper's ``A_2``, receiving events of the second type and a
+match stream of first-type singleton matches.
+
+The Kleene geometric series ``sum_j (e_i s_i W)^j`` diverges when
+``e_i s_i W >= 1``; the paper truncates the sum at ``j = e_i W`` (the
+maximal number of same-type events in a window).  We do the same, with an
+additional hard cap to keep the estimate finite and float-safe; load
+*ratios*, which are all the allocator needs, are insensitive to the cap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import AllocationError
+from repro.core.nfa import ChainNFA
+
+__all__ = [
+    "CostParameters",
+    "WorkloadStatistics",
+    "AgentLoad",
+    "LoadModel",
+    "match_arrival_rates",
+    "kleene_match_rate",
+    "average_match_sizes",
+    "proportional_allocation",
+]
+
+# Truncation guard for the Kleene geometric series: enough terms for the
+# truncated-sum semantics of the paper while avoiding float overflow.
+_KLEENE_MAX_TERMS = 64
+_RATE_CAP = 1e30
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Per-action cost constants (Table 1: ``c_i``, ``b_i``, ``q_i``).
+
+    Units are arbitrary "work units"; only ratios matter for allocation.
+    The defaults reflect the regime the paper describes: a comparison costs
+    roughly an order of magnitude more than a lock acquisition, which in
+    turn costs more than a queue push.
+    """
+
+    comparison: float = 1.0       # c_i — one event-vs-match evaluation
+    lock: float = 0.12            # b_i — locking one buffer fragment
+    queue_push: float = 0.05      # q_i — one producer-consumer queue send
+    pointer_size: int = 8         # p — bytes per stored event pointer
+    match_overhead: int = 32      # bytes of object overhead per buffered match
+
+    def __post_init__(self) -> None:
+        if min(self.comparison, self.lock, self.queue_push) < 0:
+            raise AllocationError("cost parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Measured input statistics driving the model.
+
+    ``rates[i]`` is ``e_i``: the arrival rate of the ``i``-th pattern event
+    type (0-based over NFA stages).  ``selectivities[i]`` is ``s_i``: the
+    fraction of event-match comparisons at stage ``i`` that succeed.
+    ``event_sizes[i]`` is ``v_i`` in bytes.
+    """
+
+    rates: tuple[float, ...]
+    selectivities: tuple[float, ...]
+    event_sizes: tuple[float, ...] = ()
+    # Optional directly-measured partial-match rates: element ``j`` is the
+    # rate of matches *entering* agent ``j`` (the sampled ground truth for
+    # Theorem 2's recursion; the recursion extrapolates with the full window
+    # at every hop and therefore overestimates the tail of long chains —
+    # measured rates keep the outer allocation honest, exactly as the
+    # paper's preprocessing measurement step intends).
+    match_rates: tuple[float, ...] = ()
+    # Optional directly-measured per-stage work rates (comparisons plus
+    # weighted buffer touches per time unit) — the empirical ``c_i``-style
+    # calibration the paper mentions ("c_i differs between agents ... can
+    # be found empirically").  When present, the load model uses these as
+    # the computational load instead of the 2*c*e*m*W closed form, which
+    # cannot see per-agent differences in scan overheads.
+    stage_work: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.selectivities):
+            raise AllocationError(
+                f"{len(self.rates)} rates but {len(self.selectivities)} "
+                "selectivities"
+            )
+        if any(rate < 0 for rate in self.rates):
+            raise AllocationError("arrival rates must be non-negative")
+        if any(not 0 <= sel <= 1 for sel in self.selectivities):
+            raise AllocationError("selectivities must lie in [0, 1]")
+        if self.event_sizes and len(self.event_sizes) != len(self.rates):
+            raise AllocationError("event_sizes length must match rates")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.rates)
+
+    def sizes_or_default(self, default: float = 64.0) -> tuple[float, ...]:
+        if self.event_sizes:
+            return self.event_sizes
+        return tuple(default for _ in self.rates)
+
+
+def kleene_match_rate(m_prev: float, rate: float, selectivity: float,
+                      window: float) -> float:
+    """Theorem 4: output rate of a Kleene-closure agent.
+
+    ``m_i = m_prev * (1 + sum_{j=1}^{e_i W} (e_i s_i W)^j)``, truncated to
+    :data:`_KLEENE_MAX_TERMS` terms and capped at :data:`_RATE_CAP`.
+    """
+    base = rate * selectivity * window
+    num_terms = int(min(max(rate * window, 0.0), _KLEENE_MAX_TERMS))
+    if num_terms <= 0:
+        return m_prev
+    if base <= 0.0:
+        return m_prev
+    if base == 1.0:
+        series = float(num_terms)
+    else:
+        # Geometric sum base + base^2 + ... + base^num_terms, computed in
+        # log space when it would overflow.
+        if base > 1.0 and num_terms * math.log(base) > math.log(_RATE_CAP):
+            series = _RATE_CAP
+        else:
+            series = base * (base ** num_terms - 1.0) / (base - 1.0)
+    return min(m_prev * (1.0 + series), _RATE_CAP)
+
+
+def match_arrival_rates(stats: WorkloadStatistics, window: float,
+                        kleene_stages: frozenset[int] = frozenset()) -> list[float]:
+    """Theorem 2: per-agent partial-match arrival rates.
+
+    Returns ``m[j]`` for agent ``j`` (0-based; agent 0 is the paper's
+    ``A_2`` with ``m = e_1``).  ``kleene_stages`` holds 0-based NFA stage
+    indexes that carry a Kleene closure; the *output* of such a stage's
+    agent follows Theorem 4.
+
+    The length of the result is ``num_stages - 1`` (one agent per stage
+    except stage 0, whose events feed agent 0's match stream directly).
+    """
+    if stats.num_stages < 2:
+        return []
+    rates = stats.rates
+    sels = stats.selectivities
+    arrival: list[float] = [rates[0]]  # into agent 0 == e_1 (paper's m_2)
+    for agent in range(1, stats.num_stages - 1):
+        stage = agent  # stage index whose agent produced the incoming matches
+        m_prev = arrival[agent - 1]
+        if stage in kleene_stages:
+            produced = kleene_match_rate(m_prev, rates[stage], sels[stage], window)
+        else:
+            produced = 2.0 * m_prev * rates[stage] * sels[stage] * window
+        arrival.append(min(produced, _RATE_CAP))
+    return arrival
+
+
+def output_rates(stats: WorkloadStatistics, window: float,
+                 kleene_stages: frozenset[int] = frozenset()) -> list[float]:
+    """Rate of matches each agent *emits* (``m_{i+1}`` for the sync load).
+
+    Element ``j`` is the output rate of agent ``j``; the last element is
+    the full-match detection rate.
+    """
+    arrival = match_arrival_rates(stats, window, kleene_stages)
+    rates = stats.rates
+    sels = stats.selectivities
+    outputs: list[float] = []
+    for agent, m_in in enumerate(arrival):
+        stage = agent + 1  # the NFA stage this agent evaluates
+        if stage in kleene_stages:
+            produced = kleene_match_rate(m_in, rates[stage], sels[stage], window)
+        else:
+            produced = 2.0 * m_in * rates[stage] * sels[stage] * window
+        outputs.append(min(produced, _RATE_CAP))
+    return outputs
+
+
+def average_match_sizes(stats: WorkloadStatistics, window: float,
+                        kleene_stages: frozenset[int] = frozenset()) -> list[float]:
+    """Theorem 5: average events per partial match in each agent's MB.
+
+    For non-Kleene stages ``a_i = a_{i-1} + 1``.  For a Kleene stage the
+    self-loop contributes the expected tuple length, computed from the
+    per-length rates ``m^{KC_j} = m_prev (e s W)^j``.
+    """
+    if stats.num_stages < 2:
+        return []
+    rates = stats.rates
+    sels = stats.selectivities
+    arrival = match_arrival_rates(stats, window, kleene_stages)
+    sizes: list[float] = []
+    previous = 1.0  # matches entering agent 0 contain one event (type E_1)
+    for agent in range(len(arrival)):
+        sizes.append(previous)
+        stage = agent + 1
+        if stage in kleene_stages:
+            base = rates[stage] * sels[stage] * window
+            num_terms = int(min(max(rates[stage] * window, 0.0),
+                                _KLEENE_MAX_TERMS))
+            m_prev = arrival[agent]
+            weighted = total = 0.0
+            term = m_prev
+            for j in range(1, num_terms + 1):
+                term = term * base
+                if term > _RATE_CAP:
+                    term = _RATE_CAP
+                weighted += term * j
+                total += term
+            denom = total + m_prev
+            extra = weighted / denom if denom > 0 else 0.0
+            previous = previous + extra + 1.0
+        else:
+            previous = previous + 1.0
+    return sizes
+
+
+@dataclass(frozen=True)
+class AgentLoad:
+    """Load decomposition for one agent (Table 1 rows comp/sync/load)."""
+
+    agent: int
+    event_rate: float          # e_i
+    match_rate: float          # m_i (arrival)
+    output_rate: float         # m_{i+1}
+    comp: float                # comp_i = 2 c_i e_i m_i W
+    sync: float                # sync_i = acc_i b_i + q_i m_{i+1}
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.sync
+
+
+@dataclass(frozen=True)
+class LoadModel:
+    """End-to-end load model for a compiled pattern.
+
+    Build one with :meth:`for_nfa`, then query per-agent loads and the
+    Theorem-1 proportional allocation.
+    """
+
+    window: float
+    stats: WorkloadStatistics
+    costs: CostParameters
+    kleene_stages: frozenset[int] = field(default=frozenset())
+    comparison_costs: tuple[float, ...] = ()  # per-agent c_i override
+
+    @classmethod
+    def for_nfa(cls, nfa: ChainNFA, stats: WorkloadStatistics,
+                costs: CostParameters | None = None) -> "LoadModel":
+        if stats.num_stages != nfa.num_stages:
+            raise AllocationError(
+                f"statistics cover {stats.num_stages} stages but the NFA has "
+                f"{nfa.num_stages}"
+            )
+        kleene = frozenset(
+            stage.index for stage in nfa.stages if stage.is_kleene
+        )
+        return cls(
+            window=nfa.window,
+            stats=stats,
+            costs=costs if costs is not None else CostParameters(),
+            kleene_stages=kleene,
+        )
+
+    @property
+    def num_agents(self) -> int:
+        return max(self.stats.num_stages - 1, 0)
+
+    def _comparison_cost(self, agent: int) -> float:
+        if self.comparison_costs:
+            return self.comparison_costs[agent]
+        return self.costs.comparison
+
+    def agent_loads(self, total_units: int) -> list[AgentLoad]:
+        """Per-agent loads under the equal-split approximation for acc_i.
+
+        ``total_units`` is ``n`` in the paper's acc_i formula; the model
+        assumes ``n/2m`` workers of each role per agent when estimating the
+        buffer-access count (Section 3.3.1).
+        """
+        num_agents = self.num_agents
+        if num_agents == 0:
+            return []
+        measured = self.stats.match_rates
+        stage_work = self.stats.stage_work
+        if len(measured) >= num_agents + 1:
+            # Measured rates cover agents 0..m-1 plus the final output.
+            arrival = list(measured[:num_agents])
+            outputs = list(measured[1 : num_agents + 1])
+        elif len(measured) == num_agents:
+            arrival = list(measured)
+            outputs = list(measured[1:]) + [
+                output_rates(self.stats, self.window, self.kleene_stages)[-1]
+            ]
+        else:
+            arrival = match_arrival_rates(
+                self.stats, self.window, self.kleene_stages
+            )
+            outputs = output_rates(self.stats, self.window, self.kleene_stages)
+        per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
+        loads: list[AgentLoad] = []
+        for agent in range(num_agents):
+            stage = agent + 1
+            e_i = self.stats.rates[stage]
+            m_i = arrival[agent]
+            if len(stage_work) > stage:
+                comp = self._comparison_cost(agent) * stage_work[stage]
+            else:
+                comp = (
+                    2.0 * self._comparison_cost(agent) * e_i * m_i * self.window
+                )
+            acc = (e_i + m_i) * per_role
+            sync = acc * self.costs.lock + self.costs.queue_push * outputs[agent]
+            loads.append(
+                AgentLoad(
+                    agent=agent,
+                    event_rate=e_i,
+                    match_rate=m_i,
+                    output_rate=outputs[agent],
+                    comp=min(comp, _RATE_CAP),
+                    sync=min(sync, _RATE_CAP),
+                )
+            )
+        return loads
+
+    def total_computations(self, total_units: int = 0) -> float:
+        """Section 3.4: system-wide computations per time unit."""
+        return sum(load.comp for load in self.agent_loads(max(total_units, 1)))
+
+    def allocation(self, total_units: int) -> list[int]:
+        """Theorem 1 allocation of *total_units* across agents.
+
+        Returns integer unit counts per agent summing to *total_units*.
+        See :func:`proportional_allocation` for the rounding rule.
+        """
+        loads = [load.total for load in self.agent_loads(total_units)]
+        return proportional_allocation(loads, total_units)
+
+
+def proportional_allocation(loads: Sequence[float], total_units: int) -> list[int]:
+    """Integer allocation proportional to *loads* (largest-remainder method).
+
+    Every agent receives at least one unit when ``total_units >= len(loads)``
+    — an agent with zero units cannot make progress, so the practical floor
+    is applied before distributing the remainder (the fusion optimisation of
+    Section 4.2 handles the "fewer than 2 units" case upstream).
+    """
+    num_agents = len(loads)
+    if num_agents == 0:
+        return []
+    if total_units < num_agents:
+        raise AllocationError(
+            f"{total_units} execution units cannot cover {num_agents} agents; "
+            "enable fusion or add units"
+        )
+    total_load = sum(loads)
+    if total_load <= 0:
+        # Degenerate workload: spread evenly.
+        base = total_units // num_agents
+        result = [base] * num_agents
+        for index in range(total_units - base * num_agents):
+            result[index] += 1
+        return result
+    raw = [load / total_load * total_units for load in loads]
+    floors = [max(1, int(value)) for value in raw]
+    while sum(floors) > total_units:
+        # The at-least-one floor can overshoot; shave the largest holders.
+        largest = max(range(num_agents), key=lambda i: floors[i])
+        if floors[largest] == 1:
+            break
+        floors[largest] -= 1
+    remainder = total_units - sum(floors)
+    if remainder > 0:
+        fractional = sorted(
+            range(num_agents), key=lambda i: raw[i] - int(raw[i]), reverse=True
+        )
+        for index in range(remainder):
+            floors[fractional[index % num_agents]] += 1
+    return floors

@@ -1,0 +1,211 @@
+"""Workload statistics estimation (paper Section 5.1 preprocessing step).
+
+The outer load balancer needs the average arrival rate of each pattern
+event type (``e_i``) and the selectivity of each NFA state (``s_i``).  As
+in the paper, both are measured by executing the system on a small prefix
+of the input stream: we run the sequential engine instrumented with
+per-stage comparison/success counters and read the rates off the sample's
+substream frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.events import Event
+from repro.core.matches import PartialMatch
+from repro.core.nfa import ChainNFA, compile_pattern, seq_order_allows
+from repro.core.patterns import Pattern
+from repro.core.streams import substream_rates
+from repro.costmodel.model import WorkloadStatistics
+
+__all__ = ["StageObservation", "estimate_statistics", "statistics_from_sample"]
+
+_DEFAULT_SELECTIVITY = 0.5
+
+# Relative cost of touching one buffered item during a scan versus one
+# condition evaluation; matches the default CostParameters/CacheModel
+# ratio (touch 0.05 : comparison 1.0).
+_SCAN_WEIGHT = 0.05
+
+
+@dataclass
+class StageObservation:
+    """Raw counters for one stage while sampling."""
+
+    comparisons: int = 0
+    successes: int = 0
+    scanned: int = 0        # buffered items traversed while matching
+    scan_sq: int = 0        # sum of squared buffer sizes (cache term)
+
+    @property
+    def selectivity(self) -> float:
+        if self.comparisons == 0:
+            return _DEFAULT_SELECTIVITY
+        return self.successes / self.comparisons
+
+
+@dataclass
+class _SamplingRun:
+    """A stripped-down chain evaluation that only counts comparisons.
+
+    Faster and simpler than the full engine: no negation handling, no
+    Kleene subset explosion (Kleene stages are sampled as plain stages for
+    selectivity purposes — the closure's blow-up is applied analytically by
+    the cost model's Theorem 4, so sampling it here would double-count).
+    """
+
+    nfa: ChainNFA
+    observations: list[StageObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.observations = [StageObservation() for _ in self.nfa.stages]
+        self._pools: list[list[PartialMatch]] = [
+            [] for _ in self.nfa.stages
+        ]
+        # Cap pool sizes: sampling needs selectivity estimates, not the full
+        # match set, and unbounded pools would make sampling as expensive as
+        # detection.
+        self._pool_cap = 512
+
+    def feed(self, event: Event) -> None:
+        nfa = self.nfa
+        window = nfa.window
+        horizon = event.timestamp - window
+        additions: list[tuple[int, PartialMatch]] = []
+        for stage in nfa.stages:
+            if stage.event_type_name != event.type.name:
+                continue
+            observation = self.observations[stage.index]
+            if stage.index == 0:
+                observation.comparisons += 1
+                if stage.accepts(PartialMatch.empty(), event):
+                    observation.successes += 1
+                    seed = (
+                        PartialMatch(
+                            binding={stage.item.name: (event,)},
+                            earliest=event.timestamp,
+                            latest=event.timestamp,
+                        )
+                        if stage.is_kleene
+                        else PartialMatch.of(stage.item.name, event)
+                    )
+                    additions.append((1, seed))
+                continue
+            pool = self._pools[stage.index]
+            pool[:] = [p for p in pool if p.earliest >= horizon]
+            observation.scanned += len(pool)
+            observation.scan_sq += len(pool) * len(pool)
+            for partial in pool:
+                if not partial.fits_with(event, window):
+                    continue
+                if not seq_order_allows(partial, nfa.stages, stage.index, event):
+                    continue
+                observation.comparisons += 1
+                if stage.accepts(partial, event):
+                    observation.successes += 1
+                    if stage.is_kleene:
+                        base = dict(partial.binding)
+                        base[stage.item.name] = (event,)
+                        extended = PartialMatch(
+                            binding=base,
+                            earliest=min(partial.earliest, event.timestamp),
+                            latest=max(partial.latest, event.timestamp),
+                        )
+                    else:
+                        extended = partial.extended(stage.item.name, event)
+                    additions.append((stage.index + 1, extended))
+        for level, partial in additions:
+            if level < len(self._pools):
+                pool = self._pools[level]
+                if len(pool) < self._pool_cap:
+                    pool.append(partial)
+
+
+def estimate_statistics(
+    pattern: Pattern,
+    sample: Sequence[Event],
+    event_sizes: Iterable[float] | None = None,
+) -> WorkloadStatistics:
+    """Measure ``e_i`` and ``s_i`` on *sample* for *pattern*.
+
+    The sample should be a prefix of the production stream; a few thousand
+    events usually stabilise both statistics (mirroring [41], which the
+    paper cites for this step).
+    """
+    nfa = compile_pattern(pattern)
+    run = _SamplingRun(nfa)
+    for event in sample:
+        run.feed(event)
+    rates = substream_rates(
+        sample, [stage.event_type_name for stage in nfa.stages]
+    )
+    stage_rates = tuple(
+        rates.get(stage.event_type_name, 0.0) for stage in nfa.stages
+    )
+    selectivities = tuple(
+        observation.selectivity for observation in run.observations
+    )
+    # Measured partial-match rates: agent j receives the successes of stage
+    # j per time unit (stage 0 successes are the singleton seeds feeding the
+    # first agent's match stream); the last entry is the full-match output
+    # rate.  These feed the load model directly instead of Theorem 2's
+    # full-window extrapolation — see WorkloadStatistics.match_rates.
+    span = (
+        sample[-1].timestamp - sample[0].timestamp if len(sample) > 1 else 0.0
+    )
+    if span > 0:
+        match_rates = tuple(
+            observation.successes / span for observation in run.observations
+        )
+        stage_work = tuple(
+            (observation.comparisons + _SCAN_WEIGHT * observation.scanned)
+            / span
+            for observation in run.observations
+        )
+    else:
+        match_rates = ()
+        stage_work = ()
+    sizes: tuple[float, ...] = ()
+    if event_sizes is not None:
+        sizes = tuple(event_sizes)
+    else:
+        totals: dict[str, list[float]] = {}
+        for event in sample:
+            totals.setdefault(event.type.name, []).append(
+                float(event.payload_size)
+            )
+        sizes = tuple(
+            (
+                sum(totals[stage.event_type_name])
+                / len(totals[stage.event_type_name])
+                if stage.event_type_name in totals
+                else 64.0
+            )
+            for stage in nfa.stages
+        )
+    return WorkloadStatistics(
+        rates=stage_rates,
+        selectivities=selectivities,
+        event_sizes=sizes,
+        match_rates=match_rates,
+        stage_work=stage_work,
+    )
+
+
+def statistics_from_sample(
+    pattern: Pattern, stream: Iterable[Event], sample_size: int = 5000
+) -> tuple[WorkloadStatistics, list[Event]]:
+    """Consume up to *sample_size* events for estimation.
+
+    Returns the statistics and the consumed prefix so callers can replay it
+    (the preprocessing step must not lose events).
+    """
+    prefix: list[Event] = []
+    iterator = iter(stream)
+    for event in iterator:
+        prefix.append(event)
+        if len(prefix) >= sample_size:
+            break
+    return estimate_statistics(pattern, prefix), prefix

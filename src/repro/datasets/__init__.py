@@ -1,0 +1,32 @@
+"""Synthetic datasets standing in for the paper's NASDAQ and smart-home data."""
+
+from repro.datasets.base import ArrivalProcess, DatasetConfig, interleave_arrivals
+from repro.datasets.loader import load_stream, save_stream
+from repro.datasets.sensors import (
+    SensorConfig,
+    ZONES,
+    calibrate_distance_margin,
+    generate_sensor_stream,
+)
+from repro.datasets.stocks import (
+    HISTORY_LENGTH,
+    StockConfig,
+    calibrate_correlation_threshold,
+    generate_stock_stream,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DatasetConfig",
+    "interleave_arrivals",
+    "load_stream",
+    "save_stream",
+    "SensorConfig",
+    "ZONES",
+    "calibrate_distance_margin",
+    "generate_sensor_stream",
+    "HISTORY_LENGTH",
+    "StockConfig",
+    "calibrate_correlation_threshold",
+    "generate_stock_stream",
+]

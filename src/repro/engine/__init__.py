@@ -1,0 +1,13 @@
+"""Sequential baseline engine and cross-engine validation helpers."""
+
+from repro.engine.sequential import EngineStats, SequentialEngine, detect
+from repro.engine.validation import MatchSetDiff, assert_equivalent, diff_match_sets
+
+__all__ = [
+    "EngineStats",
+    "SequentialEngine",
+    "detect",
+    "MatchSetDiff",
+    "assert_equivalent",
+    "diff_match_sets",
+]

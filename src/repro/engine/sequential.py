@@ -1,0 +1,533 @@
+"""Sequential baseline CEP engine (the paper's non-parallel comparator).
+
+Evaluates one pattern over an in-order event stream on a single logical
+execution unit, maintaining per-stage pools of partial matches exactly as
+the chain NFA of Section 2.2 prescribes.  This engine is the ground truth:
+every parallel strategy's functional executor must emit the same match set
+(the validation the authors perform in Section 5.1).
+
+Besides SEQ chain patterns it also evaluates flat AND and OR patterns, which
+the chain compiler does not cover; the parallel engines are SEQ-only, like
+the system in the paper.
+
+The engine counts the work it does (`EngineStats`): event-match comparisons,
+buffered items, peak pool sizes.  The discrete-event simulator reuses these
+counters as its ground-truth computational load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.errors import EngineError, PatternError
+from repro.core.events import Event, validate_stream_order
+from repro.core.matches import Match, PartialMatch
+from repro.core.nfa import ChainNFA, compile_pattern, seq_order_allows
+from repro.core.patterns import Operator, Pattern
+
+__all__ = ["EngineStats", "SequentialEngine", "detect"]
+
+
+@dataclass
+class EngineStats:
+    """Work counters maintained by an engine run.
+
+    ``comparisons`` counts event-vs-partial-match condition evaluations —
+    the unit of computational cost ``c_i`` in the paper's model.  Peak
+    counters approximate the paper's peak-memory metric in item units.
+    """
+
+    events_processed: int = 0
+    comparisons: int = 0
+    matches_emitted: int = 0
+    partial_matches_created: int = 0
+    peak_partial_matches: int = 0
+    peak_buffered_events: int = 0
+    purged_partial_matches: int = 0
+    purged_events: int = 0
+
+    def observe_pools(self, partials: int, events: int) -> None:
+        if partials > self.peak_partial_matches:
+            self.peak_partial_matches = partials
+        if events > self.peak_buffered_events:
+            self.peak_buffered_events = events
+
+
+class SequentialEngine:
+    """Single-threaded evaluation of one pattern.
+
+    Usage::
+
+        engine = SequentialEngine(pattern)
+        for match in engine.run(events):
+            ...
+
+    or incrementally::
+
+        engine = SequentialEngine(pattern)
+        for event in events:
+            for match in engine.process(event):
+                ...
+        for match in engine.close():
+            ...
+    """
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.stats = EngineStats()
+        self._closed = False
+        self._last_timestamp = float("-inf")
+        if pattern.operator is Operator.SEQ:
+            self._nfa: ChainNFA | None = compile_pattern(pattern)
+            self._pools: list[list[PartialMatch]] = [
+                [] for _ in range(self._nfa.num_stages)
+            ]
+            self._guarded_types = self._nfa.guarded_type_names()
+            self._neg_buffer: dict[str, list[Event]] = {
+                name: [] for name in self._guarded_types
+            }
+            self._has_trailing_guard = any(
+                guard.trailing
+                for stage in self._nfa.stages
+                for guard in stage.guards_after
+            )
+            self._pending: list[PartialMatch] = []
+        else:
+            self._nfa = None
+            self._and_pool: list[PartialMatch] = [PartialMatch.empty()]
+
+    # ------------------------------------------------------------------ #
+    # Public driving interface                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self, events: Iterable[Event]) -> Iterator[Match]:
+        """Process a whole in-order stream and yield matches as found."""
+        for event in validate_stream_order(events):
+            yield from self.process(event)
+        yield from self.close()
+
+    def process(self, event: Event) -> list[Match]:
+        """Feed one event; return the full matches it completed."""
+        if self._closed:
+            raise EngineError("process() called after close()")
+        self._last_timestamp = max(self._last_timestamp, event.timestamp)
+        self.stats.events_processed += 1
+        if self._nfa is not None:
+            return self._process_seq(event)
+        if self.pattern.operator is Operator.AND:
+            return self._process_and(event)
+        return self._process_or(event)
+
+    def close(self) -> list[Match]:
+        """Signal end of stream; release matches held back by trailing
+        negation guards."""
+        if self._closed:
+            return []
+        self._closed = True
+        if self._nfa is None or not self._has_trailing_guard:
+            return []
+        window = self._nfa.window
+        released = []
+        for partial in self._pending:
+            detected = max(partial.latest, partial.earliest + window)
+            released.append(Match.from_partial(partial, detected_at=detected))
+        self._pending = []
+        self.stats.matches_emitted += len(released)
+        return released
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by the simulator's cost accounting)            #
+    # ------------------------------------------------------------------ #
+
+    def buffered_items(self) -> int:
+        """Partial matches + buffered events currently held."""
+        if self._nfa is not None:
+            partials = sum(len(pool) for pool in self._pools) + len(self._pending)
+            negated = sum(len(buf) for buf in self._neg_buffer.values())
+            return partials + negated
+        return len(self._and_pool)
+
+    def buffered_match_count(self) -> int:
+        """Number of partial matches currently buffered (excludes the
+        negated-event buffers)."""
+        if self._nfa is not None:
+            return sum(len(pool) for pool in self._pools) + len(self._pending)
+        return len(self._and_pool)
+
+    def pool_sizes(self) -> list[int]:
+        """Sizes of the engine's contiguous buffers (one per stage pool),
+        feeding the simulator's cache-pressure term."""
+        if self._nfa is not None:
+            sizes = [len(pool) for pool in self._pools]
+            sizes.append(len(self._pending))
+            sizes.extend(len(buf) for buf in self._neg_buffer.values())
+            return sizes
+        return [len(self._and_pool)]
+
+    def memory_profile(self, pointer_size: int = 8) -> tuple[int, int]:
+        """(pointer_count, payload_bytes) of the current buffered state.
+
+        Payload bytes count each referenced event once within this engine —
+        replicas across partitioned engines each pay for their own copy,
+        which is exactly the duplication cost of data-parallel methods.
+        """
+        pointer_count = 0
+        seen: dict[int, int] = {}
+        if self._nfa is not None:
+            for pool in self._pools:
+                for partial in pool:
+                    pointer_count += partial.event_count()
+                    for event in partial.events():
+                        seen.setdefault(event.event_id, event.payload_size)
+            for partial in self._pending:
+                pointer_count += partial.event_count()
+                for event in partial.events():
+                    seen.setdefault(event.event_id, event.payload_size)
+            for buffer in self._neg_buffer.values():
+                pointer_count += len(buffer)
+                for event in buffer:
+                    seen.setdefault(event.event_id, event.payload_size)
+        else:
+            for partial in self._and_pool:
+                pointer_count += partial.event_count()
+                for event in partial.events():
+                    seen.setdefault(event.event_id, event.payload_size)
+        return pointer_count, sum(seen.values())
+
+    # ------------------------------------------------------------------ #
+    # SEQ evaluation                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _process_seq(self, event: Event) -> list[Match]:
+        nfa = self._nfa
+        assert nfa is not None
+        window = nfa.window
+        now = event.timestamp
+        self._purge_seq(now)
+
+        emitted: list[Match] = []
+        type_name = event.type.name
+
+        # Negated-type events: buffer and strike pending trailing-guard
+        # matches.  An event can be both a guard type and a stage type if
+        # the pattern reuses a type; handle guards first.
+        if type_name in self._guarded_types:
+            self._neg_buffer[type_name].append(event)
+            if self._has_trailing_guard and self._pending:
+                self._strike_pending(event)
+
+        additions: list[tuple[int, PartialMatch]] = []
+        for stage in nfa.stages:
+            if stage.event_type_name != type_name:
+                continue
+            index = stage.index
+            if index == 0:
+                if self._try_stage_conditions(stage, PartialMatch.empty(), event):
+                    seed = self._bind(stage, PartialMatch.empty(), event)
+                    additions.append((1, seed))
+            else:
+                for partial in self._pools[index]:
+                    if not partial.fits_with(event, window):
+                        continue
+                    if not seq_order_allows(partial, nfa.stages, index, event):
+                        continue
+                    if not self._try_stage_conditions(stage, partial, event):
+                        continue
+                    extended = self._bind(stage, partial, event)
+                    if self._violates_internal_guard(
+                        nfa.stages[index - 1], extended, window
+                    ):
+                        continue
+                    additions.append((index + 1, extended))
+            if stage.is_kleene:
+                # Self-loop: extend partials that already entered this stage.
+                additions.extend(self._extend_kleene(stage, event, window))
+
+        matches = self._commit(additions, event)
+        emitted.extend(matches)
+
+        # Release pending trailing-guard matches that are now safe.
+        if self._has_trailing_guard and self._pending:
+            emitted.extend(self._release_pending(now))
+
+        self.stats.observe_pools(
+            sum(len(pool) for pool in self._pools) + len(self._pending),
+            sum(len(buf) for buf in self._neg_buffer.values()),
+        )
+        return emitted
+
+    def _extend_kleene(
+        self, stage, event: Event, window: float
+    ) -> list[tuple[int, PartialMatch]]:
+        """Grow existing Kleene tuples at *stage* with *event*.
+
+        Partials that completed the Kleene stage live in the next pool (or
+        among completed matches pending emission — but those are final:
+        skip-till-any-match keeps the shorter tuples as separate partials,
+        so growth always happens on pool entries).
+        """
+        nfa = self._nfa
+        assert nfa is not None
+        additions: list[tuple[int, PartialMatch]] = []
+        target = stage.index + 1
+        if target > len(self._pools):
+            return additions
+        pool = self._pools[target] if target < len(self._pools) else []
+        for partial in pool:
+            bound = partial.binding.get(stage.item.name)
+            if not isinstance(bound, tuple):
+                continue
+            last = bound[-1]
+            if (last.timestamp, last.event_id) >= (event.timestamp, event.event_id):
+                continue
+            if not partial.fits_with(event, window):
+                continue
+            if not self._try_stage_conditions(stage, partial, event):
+                continue
+            grown = partial.extended_kleene(stage.item.name, event)
+            self.stats.partial_matches_created += 1
+            additions.append((target, grown))
+        return additions
+
+    def _try_stage_conditions(self, stage, partial: PartialMatch,
+                              event: Event) -> bool:
+        self.stats.comparisons += 1
+        return stage.accepts(partial, event)
+
+    def _bind(self, stage, partial: PartialMatch, event: Event) -> PartialMatch:
+        self.stats.partial_matches_created += 1
+        if stage.is_kleene:
+            base = dict(partial.binding)
+            base[stage.item.name] = (event,)
+            return PartialMatch(
+                binding=base,
+                earliest=min(partial.earliest, event.timestamp),
+                latest=max(partial.latest, event.timestamp),
+            )
+        return partial.extended(stage.item.name, event)
+
+    def _violates_internal_guard(self, previous_stage, extended: PartialMatch,
+                                 window: float) -> bool:
+        """Check the negation guards sitting between the previous stage and
+        the one just bound."""
+        for guard in previous_stage.guards_after:
+            if guard.trailing:
+                continue
+            buffer = self._neg_buffer.get(guard.item.event_type.name, ())
+            for negated_event in buffer:
+                self.stats.comparisons += 1
+                if guard.violates(
+                    extended.binding, negated_event, window, extended.earliest
+                ):
+                    return True
+        return False
+
+    def _commit(
+        self, additions: list[tuple[int, PartialMatch]], event: Event
+    ) -> list[Match]:
+        """Insert newly created partials; emit those that completed."""
+        nfa = self._nfa
+        assert nfa is not None
+        emitted: list[Match] = []
+        for level, partial in additions:
+            if level < nfa.num_stages:
+                self._pools[level].append(partial)
+                continue
+            # Completed the final stage: trailing guards may defer emission.
+            if self._has_trailing_guard:
+                if not self._violated_by_buffered_trailing(partial):
+                    self._pending.append(partial)
+                continue
+            match = Match.from_partial(partial, detected_at=event.timestamp)
+            emitted.append(match)
+        # Completed partials also sit in the last pool when the final stage
+        # is Kleene (their tuple can still grow); handled by storing them in
+        # pools too.
+        for level, partial in additions:
+            if level == nfa.num_stages and nfa.stages[-1].is_kleene:
+                self._pools_store_final(partial)
+        self.stats.matches_emitted += len(emitted)
+        return emitted
+
+    def _pools_store_final(self, partial: PartialMatch) -> None:
+        """Keep a completed Kleene-final partial growable.
+
+        When the final stage is Kleene, a completed match's tuple can still
+        be extended to produce further (longer) matches.  We keep such
+        partials in a synthetic pool one past the last stage.
+        """
+        nfa = self._nfa
+        assert nfa is not None
+        while len(self._pools) <= nfa.num_stages:
+            self._pools.append([])
+        self._pools[nfa.num_stages].append(partial)
+
+    def _violated_by_buffered_trailing(self, partial: PartialMatch) -> bool:
+        nfa = self._nfa
+        assert nfa is not None
+        window = nfa.window
+        last_stage = nfa.stages[-1]
+        for guard in last_stage.guards_after:
+            if not guard.trailing:
+                continue
+            for negated_event in self._neg_buffer.get(
+                guard.item.event_type.name, ()
+            ):
+                self.stats.comparisons += 1
+                if guard.violates(
+                    partial.binding, negated_event, window, partial.earliest
+                ):
+                    return True
+        return False
+
+    def _strike_pending(self, negated_event: Event) -> None:
+        nfa = self._nfa
+        assert nfa is not None
+        window = nfa.window
+        last_stage = nfa.stages[-1]
+        guards = [g for g in last_stage.guards_after if g.trailing]
+        survivors = []
+        for partial in self._pending:
+            violated = False
+            for guard in guards:
+                if guard.item.event_type.name != negated_event.type.name:
+                    continue
+                self.stats.comparisons += 1
+                if guard.violates(
+                    partial.binding, negated_event, window, partial.earliest
+                ):
+                    violated = True
+                    break
+            if not violated:
+                survivors.append(partial)
+        self._pending = survivors
+
+    def _release_pending(self, now: float) -> list[Match]:
+        nfa = self._nfa
+        assert nfa is not None
+        window = nfa.window
+        releasable = []
+        still_pending = []
+        for partial in self._pending:
+            if partial.earliest + window < now:
+                releasable.append(
+                    Match.from_partial(partial, detected_at=now)
+                )
+            else:
+                still_pending.append(partial)
+        self._pending = still_pending
+        self.stats.matches_emitted += len(releasable)
+        return releasable
+
+    def _purge_seq(self, now: float) -> None:
+        """Drop expired partial matches and negated-event buffers.
+
+        A partial whose earliest event is more than W old can never be
+        completed within the window (new events only have larger
+        timestamps), matching the purge rule of Section 3.2.
+        """
+        nfa = self._nfa
+        assert nfa is not None
+        window = nfa.window
+        horizon = now - window
+        for index, pool in enumerate(self._pools):
+            if not pool:
+                continue
+            kept = [p for p in pool if p.earliest >= horizon]
+            self.stats.purged_partial_matches += len(pool) - len(kept)
+            self._pools[index] = kept
+        for name, buffer in self._neg_buffer.items():
+            if not buffer:
+                continue
+            kept_events = [e for e in buffer if e.timestamp >= horizon]
+            self.stats.purged_events += len(buffer) - len(kept_events)
+            self._neg_buffer[name] = kept_events
+
+    # ------------------------------------------------------------------ #
+    # AND / OR evaluation                                                #
+    # ------------------------------------------------------------------ #
+
+    def _process_and(self, event: Event) -> list[Match]:
+        pattern = self.pattern
+        window = pattern.window
+        now = event.timestamp
+        horizon = now - window
+        type_name = event.type.name
+        positions = [
+            item.name for item in pattern.items
+            if item.event_type.name == type_name
+        ]
+        if not positions:
+            return []
+        conjuncts = pattern.conjuncts()
+        kept = [
+            p for p in self._and_pool
+            if p.earliest >= horizon or not p.binding
+        ]
+        self.stats.purged_partial_matches += len(self._and_pool) - len(kept)
+        self._and_pool = kept
+
+        emitted: list[Match] = []
+        additions: list[PartialMatch] = []
+        all_positions = {item.name for item in pattern.items}
+        for partial in self._and_pool:
+            for position in positions:
+                if position in partial.binding:
+                    continue
+                if partial.binding and not partial.fits_with(event, window):
+                    continue
+                probe = dict(partial.binding)
+                probe[position] = event
+                bound_now = set(probe)
+                ok = True
+                for conjunct in conjuncts:
+                    deps = conjunct.depends_on()
+                    if position in deps and deps <= bound_now:
+                        self.stats.comparisons += 1
+                        if not conjunct.evaluate(probe):
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                extended = partial.extended(position, event)
+                self.stats.partial_matches_created += 1
+                if set(extended.binding) == all_positions:
+                    emitted.append(
+                        Match.from_partial(extended, detected_at=now)
+                    )
+                else:
+                    additions.append(extended)
+        self._and_pool.extend(additions)
+        self.stats.matches_emitted += len(emitted)
+        self.stats.observe_pools(len(self._and_pool), 0)
+        return emitted
+
+    def _process_or(self, event: Event) -> list[Match]:
+        pattern = self.pattern
+        type_name = event.type.name
+        conjuncts = pattern.conjuncts()
+        emitted: list[Match] = []
+        for item in pattern.items:
+            if item.event_type.name != type_name:
+                continue
+            probe = {item.name: event}
+            ok = True
+            for conjunct in conjuncts:
+                if conjunct.depends_on() <= {item.name}:
+                    self.stats.comparisons += 1
+                    if not conjunct.evaluate(probe):
+                        ok = False
+                        break
+            if ok:
+                partial = PartialMatch.of(item.name, event)
+                emitted.append(
+                    Match.from_partial(partial, detected_at=event.timestamp)
+                )
+        self.stats.matches_emitted += len(emitted)
+        return emitted
+
+
+def detect(pattern: Pattern, events: Iterable[Event]) -> list[Match]:
+    """One-shot convenience: run the sequential engine over *events*."""
+    return list(SequentialEngine(pattern).run(events))

@@ -1,0 +1,71 @@
+"""Cross-engine match-set validation.
+
+The paper stresses (Section 5.1) that every compared method must return all
+matches in the dataset and only those matches.  This module provides the
+machinery the test suite and the benchmark harness use to enforce the same
+property here: collect the match sets of two engines and diff them by
+canonical match key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.matches import Match
+
+__all__ = ["MatchSetDiff", "diff_match_sets", "assert_equivalent"]
+
+
+@dataclass(frozen=True)
+class MatchSetDiff:
+    """Result of comparing a candidate match set against a reference."""
+
+    missing: frozenset[tuple]
+    unexpected: frozenset[tuple]
+    common: int
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.missing and not self.unexpected
+
+    def summary(self) -> str:
+        if self.equivalent:
+            return f"match sets identical ({self.common} matches)"
+        return (
+            f"match sets differ: {len(self.missing)} missing, "
+            f"{len(self.unexpected)} unexpected, {self.common} common"
+        )
+
+
+def diff_match_sets(
+    reference: Iterable[Match], candidate: Iterable[Match]
+) -> MatchSetDiff:
+    """Diff *candidate* against *reference* by canonical match key.
+
+    Duplicate emissions of the same match are collapsed — correctness is
+    about the *set* of matches; engines are separately tested to not emit
+    duplicates where the model forbids them.
+    """
+    reference_keys = {match.key for match in reference}
+    candidate_keys = {match.key for match in candidate}
+    return MatchSetDiff(
+        missing=frozenset(reference_keys - candidate_keys),
+        unexpected=frozenset(candidate_keys - reference_keys),
+        common=len(reference_keys & candidate_keys),
+    )
+
+
+def assert_equivalent(
+    reference: Iterable[Match], candidate: Iterable[Match], label: str = "candidate"
+) -> None:
+    """Raise ``AssertionError`` with a readable message on any difference."""
+    diff = diff_match_sets(reference, candidate)
+    if not diff.equivalent:
+        missing_sample = list(diff.missing)[:3]
+        unexpected_sample = list(diff.unexpected)[:3]
+        raise AssertionError(
+            f"{label}: {diff.summary()}; "
+            f"missing sample: {missing_sample}; "
+            f"unexpected sample: {unexpected_sample}"
+        )

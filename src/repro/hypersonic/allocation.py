@@ -1,0 +1,83 @@
+"""Outer-layer execution-unit allocation (paper Section 3.3.1, Theorem 1).
+
+Translates the cost model's per-agent loads into integer unit counts.  Two
+schemes are provided:
+
+* ``"cost"`` — the paper's load-proportional allocation,
+* ``"equal"`` — the trivial equal split used as the ablation baseline in
+  Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import AllocationError
+from repro.core.nfa import ChainNFA
+from repro.costmodel.model import (
+    CostParameters,
+    LoadModel,
+    WorkloadStatistics,
+    proportional_allocation,
+)
+
+__all__ = ["AllocationPlan", "allocate_units"]
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """Result of outer load balancing: unit counts per agent."""
+
+    per_agent: tuple[int, ...]
+    loads: tuple[float, ...]
+    scheme: str
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.per_agent)
+
+    def underprovisioned(self) -> tuple[int, ...]:
+        """Agents allocated fewer than two units — fusion candidates
+        (Section 4.2, Algorithm 2 line 4)."""
+        return tuple(
+            index for index, count in enumerate(self.per_agent) if count < 2
+        )
+
+
+def allocate_units(
+    nfa: ChainNFA,
+    stats: WorkloadStatistics,
+    total_units: int,
+    scheme: str = "cost",
+    costs: CostParameters | None = None,
+) -> AllocationPlan:
+    """Partition *total_units* among the pattern's agents.
+
+    Raises :class:`AllocationError` when the pool cannot cover one unit per
+    agent; the engine resolves the "fewer than two units" case via fusion.
+    """
+    num_agents = nfa.num_stages - 1
+    if num_agents <= 0:
+        raise AllocationError(
+            "HYPERSONIC needs a pattern of at least two event types"
+        )
+    if total_units < num_agents:
+        raise AllocationError(
+            f"{total_units} units cannot cover {num_agents} agents"
+        )
+    if scheme == "equal":
+        base = total_units // num_agents
+        per_agent = [base] * num_agents
+        for index in range(total_units - base * num_agents):
+            per_agent[index] += 1
+        return AllocationPlan(
+            per_agent=tuple(per_agent),
+            loads=tuple(1.0 for _ in range(num_agents)),
+            scheme=scheme,
+        )
+    if scheme != "cost":
+        raise AllocationError(f"unknown allocation scheme {scheme!r}")
+    model = LoadModel.for_nfa(nfa, stats, costs)
+    loads = tuple(load.total for load in model.agent_loads(total_units))
+    per_agent = proportional_allocation(loads, total_units)
+    return AllocationPlan(per_agent=tuple(per_agent), loads=loads, scheme=scheme)

@@ -1,0 +1,405 @@
+"""The HYPERSONIC engine: planning, wiring, and the deterministic driver.
+
+:class:`HypersonicEngine` assembles the full two-tier system for one SEQ
+pattern — splitter, agent chain (with optional fusion), execution units
+with their role assignments — and drives it *functionally*: a cooperative
+scheduler interleaves the units deterministically and the engine returns
+the exact match set, which the tests compare against the sequential
+baseline.  Performance evaluation runs the very same components under the
+discrete-event simulator (:mod:`repro.simulator`), which replaces this
+module's zero-cost scheduler with a virtual clock.
+
+Restrictions (matching the paper's system): SEQ patterns only, at least
+two event types, no Kleene closure on the first type (the first agent
+represents the first two NFA states and cannot host a self-loop).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.errors import AllocationError, PatternError
+from repro.core.events import Event, validate_stream_order
+from repro.core.matches import Match, PartialMatch
+from repro.core.nfa import ChainNFA, compile_pattern
+from repro.core.patterns import Operator, Pattern
+from repro.costmodel.model import CostParameters, WorkloadStatistics
+from repro.costmodel.statistics import estimate_statistics
+from repro.hypersonic.agent import AgentCore
+from repro.hypersonic.allocation import AllocationPlan, allocate_units
+from repro.hypersonic.buffers import BufferSnapshot
+from repro.hypersonic.fusion import FusionPlan, build_agent, plan_with_fusion
+from repro.hypersonic.items import ItemKind, Receipt, WorkItem
+from repro.hypersonic.splitter import RouteTarget, Splitter
+from repro.hypersonic.workers import ExecutionUnit, WorkerPolicy, assign_roles
+
+__all__ = ["HypersonicConfig", "FunctionalMetrics", "HypersonicEngine"]
+
+
+@dataclass(frozen=True)
+class HypersonicConfig:
+    """Feature switches for the engine (paper Sections 3.3–4.2).
+
+    ``allocation`` selects the outer balancing scheme (``"cost"`` per
+    Theorem 1 or the ``"equal"`` ablation).  ``fusion`` enables Algorithm 2;
+    ``force_fusion_pairs`` pre-fuses chosen adjacent stage pairs as in the
+    Figure 12 setup.  ``sample_size`` bounds the statistics-estimation
+    prefix when no statistics are supplied.
+    """
+
+    role_dynamic: bool = True
+    agent_dynamic: bool = False
+    fusion: bool = False
+    force_fusion_pairs: tuple[tuple[int, int], ...] = ()
+    allocation: str = "cost"
+    seed: int = 7
+    purge_slack: float | None = None
+    sample_size: int = 2000
+    max_inflight: int = 4096
+    snapshot_interval: int = 64
+
+
+@dataclass
+class FunctionalMetrics:
+    """Counters collected by the deterministic driver."""
+
+    events_ingested: int = 0
+    items_processed: int = 0
+    comparisons: int = 0
+    fragment_locks: int = 0
+    queue_pushes: int = 0
+    matches_emitted: int = 0
+    peak_memory_bytes: int = 0
+    peak_buffered_items: int = 0
+    unit_hops: int = 0
+    per_agent_items: list[int] = field(default_factory=list)
+
+
+class HypersonicEngine:
+    """End-to-end hybrid-parallel CEP engine for a single pattern."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        num_units: int,
+        config: HypersonicConfig | None = None,
+        stats: WorkloadStatistics | None = None,
+        costs: CostParameters | None = None,
+    ) -> None:
+        if pattern.operator is not Operator.SEQ:
+            raise PatternError("HYPERSONIC evaluates SEQ patterns")
+        self.pattern = pattern
+        self.nfa: ChainNFA = compile_pattern(pattern)
+        if self.nfa.num_stages < 2:
+            raise PatternError(
+                "HYPERSONIC needs at least two positive event types"
+            )
+        if self.nfa.stages[0].is_kleene:
+            raise PatternError(
+                "Kleene closure on the first event type is not supported by "
+                "the agent chain (the first agent covers the first two states)"
+            )
+        if num_units < 1:
+            raise AllocationError("need at least one execution unit")
+        self.num_units = num_units
+        self.config = config if config is not None else HypersonicConfig()
+        self.costs = costs if costs is not None else CostParameters()
+        self.stats = stats
+        self.metrics = FunctionalMetrics()
+
+        self._rng = random.Random(self.config.seed)
+        self.splitter: Splitter | None = None
+        self.agents: list = []
+        self.units: list[ExecutionUnit] = []
+        self.policy: WorkerPolicy | None = None
+        self.fusion_plan: FusionPlan | None = None
+        self.allocation_plan: AllocationPlan | None = None
+        self._matches: list[Match] = []
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # Planning and wiring                                                 #
+    # ------------------------------------------------------------------ #
+
+    def ensure_statistics(self, sample: Sequence[Event]) -> WorkloadStatistics:
+        if self.stats is None:
+            self.stats = estimate_statistics(self.pattern, sample)
+        return self.stats
+
+    def build(self) -> None:
+        """Create agents, queues, units, and the routing table."""
+        if self.stats is None:
+            raise AllocationError(
+                "statistics required before build(); call ensure_statistics() "
+                "or pass stats="
+            )
+        config = self.config
+        nfa = self.nfa
+
+        if config.fusion or config.force_fusion_pairs:
+            self.fusion_plan = plan_with_fusion(
+                nfa,
+                self.stats,
+                self.num_units,
+                self.costs,
+                force_pairs=config.force_fusion_pairs,
+            )
+            groups = self.fusion_plan.groups
+            per_agent = list(self.fusion_plan.per_agent)
+        else:
+            self.allocation_plan = allocate_units(
+                nfa, self.stats, self.num_units,
+                scheme=config.allocation, costs=self.costs,
+            )
+            groups = tuple((stage,) for stage in range(1, nfa.num_stages))
+            per_agent = list(self.allocation_plan.per_agent)
+
+        splitter = Splitter(nfa=nfa)
+        self.splitter = splitter
+        watermark = lambda: splitter.watermark  # noqa: E731
+
+        self.agents = []
+        for position, group in enumerate(groups):
+            is_last = position == len(groups) - 1
+            agent = build_agent(
+                group, position, nfa, watermark, is_last, config.purge_slack
+            )
+            self.agents.append(agent)
+        # System-wide match floor for guard-event purges (see AgentCore).
+        agents = self.agents
+
+        def global_floor() -> float:
+            floor = float("inf")
+            for agent in agents:
+                local = getattr(agent, "local_match_floor", None)
+                if local is not None:
+                    value = local()
+                    if value < floor:
+                        floor = value
+            return floor
+
+        for agent in agents:
+            if hasattr(agent, "global_floor"):
+                agent.global_floor = global_floor
+
+        self._wire_routes()
+
+        if not config.role_dynamic:
+            per_agent = _enforce_two_per_agent(per_agent, self.num_units)
+        self.units = assign_roles(per_agent, self._rng)
+        self.policy = WorkerPolicy(
+            agents=self.agents,
+            units=self.units,
+            window=nfa.window,
+            role_dynamic=config.role_dynamic,
+            agent_dynamic=config.agent_dynamic,
+            rng=random.Random(config.seed + 1),
+        )
+        self.policy.watermark = watermark
+        self._built = True
+
+    def _wire_routes(self) -> None:
+        nfa = self.nfa
+        splitter = self.splitter
+        assert splitter is not None
+        first_agent = self.agents[0]
+        stage0 = nfa.stages[0]
+        splitter.add_route(
+            stage0.event_type_name,
+            RouteTarget(
+                queue=first_agent.ms,
+                kind=ItemKind.MATCH,
+                seed_position=stage0.item.name,
+            ),
+        )
+        for position, agent in enumerate(self.agents):
+            if isinstance(agent, AgentCore):
+                splitter.add_route(
+                    agent.stage.event_type_name,
+                    RouteTarget(queue=agent.es, kind=ItemKind.EVENT),
+                )
+                for type_name in agent.guard_type_names:
+                    splitter.add_route(
+                        type_name,
+                        RouteTarget(queue=agent.guard_q, kind=ItemKind.GUARD),
+                    )
+            else:  # fused agent: two event inputs
+                splitter.add_route(
+                    agent.first.event_type_name,
+                    RouteTarget(queue=agent.es, kind=ItemKind.EVENT),
+                )
+                splitter.add_route(
+                    agent.second.event_type_name,
+                    RouteTarget(
+                        queue=agent.es2, kind=ItemKind.EVENT2, is_event2=True
+                    ),
+                )
+
+    # ------------------------------------------------------------------ #
+    # Deterministic functional driver                                     #
+    # ------------------------------------------------------------------ #
+
+    def run(self, events: Iterable[Event]) -> list[Match]:
+        """Process an in-order stream to completion, returning all matches.
+
+        May be called once per engine instance.
+        """
+        if self._built:
+            raise AllocationError("run() may only be called once per engine")
+        event_list = (
+            events if isinstance(events, list) else list(events)
+        )
+        self.ensure_statistics(event_list[: self.config.sample_size])
+        self.build()
+        splitter = self.splitter
+        policy = self.policy
+        assert splitter is not None and policy is not None
+
+        iterator = iter(validate_stream_order(event_list))
+        exhausted = False
+        while not exhausted:
+            event = next(iterator, None)
+            if event is None:
+                exhausted = True
+                break
+            receipt = splitter.route(event)
+            self.metrics.events_ingested += 1
+            self.metrics.comparisons += receipt.comparisons
+            self.metrics.queue_pushes += receipt.pushes
+            self._work_rounds()
+
+        splitter.seal()
+        self._drain()
+        self._flush_agents()
+        self._drain()
+        if self._total_depth() > 0:
+            stuck = [
+                repr(agent) for agent in self.agents if agent.queue_depth()
+            ]
+            raise AllocationError(
+                f"pipeline stalled with items in flight at: {stuck}; "
+                "check role assignments cover both streams of every agent"
+            )
+        self.metrics.matches_emitted = len(self._matches)
+        self.metrics.unit_hops = sum(unit.hops for unit in self.units)
+        self.metrics.per_agent_items = [
+            agent.items_processed for agent in self.agents
+        ]
+        return self._matches
+
+    def _work_rounds(self) -> None:
+        """Let units work until in-flight items drop below the cap."""
+        steps = self._step_all_units()
+        while self._total_depth() > self.config.max_inflight and steps:
+            steps = self._step_all_units()
+
+    def _drain(self) -> None:
+        while True:
+            steps = self._step_all_units()
+            if steps == 0:
+                # Idle maintenance: release quarantines that became safe.
+                released = 0
+                for agent in self.agents:
+                    receipt = agent.maintenance()
+                    if receipt.pushes:
+                        released += receipt.pushes
+                        self._route_receipt(agent, receipt)
+                if released == 0:
+                    break
+
+    def _flush_agents(self) -> None:
+        for agent in self.agents:
+            receipt = agent.flush()
+            if receipt.pushes:
+                self._route_receipt(agent, receipt)
+
+    def _step_all_units(self) -> int:
+        policy = self.policy
+        assert policy is not None
+        steps = 0
+        for unit in self.units:
+            selection = policy.select(unit)
+            if selection is None:
+                continue
+            agent = self.agents[selection.agent_index]
+            receipt = agent.process(selection.item, unit.unit_id)
+            unit.items_processed += 1
+            steps += 1
+            self._account(receipt)
+            self._route_receipt(agent, receipt)
+        self.metrics.items_processed += steps
+        if steps and self.metrics.items_processed % self.config.snapshot_interval < steps:
+            self._snapshot_memory()
+        return steps
+
+    def _account(self, receipt: Receipt) -> None:
+        self.metrics.comparisons += receipt.comparisons
+        self.metrics.fragment_locks += receipt.fragments_locked
+        self.metrics.queue_pushes += receipt.pushes
+
+    def _route_receipt(self, agent, receipt: Receipt) -> None:
+        position = agent.agent_index
+        for partial in receipt.emitted_self:
+            agent.ms.push(WorkItem(ItemKind.MATCH, partial))
+        if position + 1 < len(self.agents):
+            downstream = self.agents[position + 1]
+            for partial in receipt.emitted_down:
+                downstream.ms.push(WorkItem(ItemKind.MATCH, partial))
+        else:
+            splitter = self.splitter
+            assert splitter is not None
+            for partial in receipt.emitted_down:
+                detected = (
+                    splitter.watermark
+                    if splitter.watermark < float("inf")
+                    else max(partial.latest, partial.earliest + self.nfa.window)
+                )
+                self._matches.append(
+                    Match.from_partial(partial, detected_at=detected)
+                )
+
+    def _total_depth(self) -> int:
+        return sum(agent.queue_depth() for agent in self.agents)
+
+    def _snapshot_memory(self) -> None:
+        snapshot = BufferSnapshot.merge(
+            [agent.snapshot() for agent in self.agents]
+        )
+        total = snapshot.total_bytes(self.costs.pointer_size)
+        if total > self.metrics.peak_memory_bytes:
+            self.metrics.peak_memory_bytes = total
+        items = snapshot.eb_items + snapshot.mb_items + self._total_depth()
+        if items > self.metrics.peak_buffered_items:
+            self.metrics.peak_buffered_items = items
+
+
+def _enforce_two_per_agent(per_agent: list[int], total_units: int) -> list[int]:
+    """Role-static mode needs one event worker and one match worker per
+    agent; redistribute so no agent falls below two units."""
+    num_agents = len(per_agent)
+    if total_units < 2 * num_agents:
+        raise AllocationError(
+            f"role-static mode needs at least {2 * num_agents} units for "
+            f"{num_agents} agents, got {total_units}"
+        )
+    adjusted = list(per_agent)
+    while any(count < 2 for count in adjusted):
+        needy = min(range(num_agents), key=lambda i: adjusted[i])
+        donor = max(range(num_agents), key=lambda i: adjusted[i])
+        adjusted[donor] -= 1
+        adjusted[needy] += 1
+    return adjusted
+
+
+def detect_hybrid(
+    pattern: Pattern,
+    events: Iterable[Event],
+    num_units: int = 8,
+    config: HypersonicConfig | None = None,
+    stats: WorkloadStatistics | None = None,
+) -> list[Match]:
+    """One-shot convenience wrapper over :class:`HypersonicEngine`."""
+    engine = HypersonicEngine(pattern, num_units, config=config, stats=stats)
+    return engine.run(events)

@@ -1,0 +1,427 @@
+"""Agent fusion (paper Section 4.2, Algorithm 2).
+
+Fusion merges two consecutive agents into a single structure preserving
+their joint functionality so a lightweight agent does not hold two
+execution units hostage.  A fused agent keeps both pairs of buffers
+(``EB_i``/``MB_i`` and ``EB_{i+1}``/``MB_{i+1}``); results of the first
+stage's join are written into ``MB_{i+1}`` *inside* the agent instead of
+crossing a queue, and immediately joined against ``EB_{i+1}`` so the
+exactly-once pair evaluation is preserved across the internal boundary.
+
+Fusion is planned by :func:`plan_with_fusion` — Algorithm 2: allocate,
+fuse any agent that received fewer than two units with its lighter
+neighbour, re-allocate, repeat.
+
+Restrictions (as in the paper's evaluation, which fused plain adjacent
+pairs of sequence agents): Kleene and negation-guarded stages are not
+fusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.errors import AllocationError, PatternError
+from repro.core.events import Event
+from repro.core.matches import PartialMatch
+from repro.core.nfa import ChainNFA, Stage, seq_order_allows
+from repro.costmodel.model import (
+    CostParameters,
+    WorkloadStatistics,
+    proportional_allocation,
+)
+from repro.hypersonic.agent import AgentCore
+from repro.hypersonic.buffers import AgentGlobalBuffer, BufferSnapshot, FragmentedBuffer
+from repro.hypersonic.items import ItemKind, Receipt, WorkItem, WorkQueue
+
+__all__ = ["FusedAgentCore", "FusionPlan", "plan_with_fusion"]
+
+
+class FusedAgentCore:
+    """Two consecutive stages executed by one agent (Section 4.2).
+
+    Exposes the same driving surface as :class:`AgentCore` (``pop`` /
+    ``process`` / ``has_*_work`` / ``snapshot``), so drivers and policies
+    treat fused and plain agents uniformly.
+    """
+
+    def __init__(
+        self,
+        agent_index: int,
+        stages: tuple[Stage, ...],
+        first_stage_index: int,
+        window: float,
+        watermark: Callable[[], float],
+        is_last: bool,
+        purge_slack: float | None = None,
+    ) -> None:
+        second = first_stage_index + 1
+        if second >= len(stages):
+            raise AllocationError("fusion needs two consecutive stages")
+        for stage_index in (first_stage_index, second):
+            stage = stages[stage_index]
+            if stage.is_kleene:
+                raise PatternError("Kleene stages cannot be fused")
+        if stages[first_stage_index - 1].guards_after or stages[
+            first_stage_index
+        ].guards_after:
+            raise PatternError("negation-guarded stages cannot be fused")
+        if is_last and stages[second].guards_after:
+            raise PatternError("negation-guarded stages cannot be fused")
+
+        self.agent_index = agent_index
+        self.stages = stages
+        self.first = stages[first_stage_index]
+        self.second = stages[second]
+        self.first_index = first_stage_index
+        self.second_index = second
+        self.window = window
+        self.watermark = watermark
+        self.is_last = is_last
+        self.purge_slack = window if purge_slack is None else purge_slack
+        self.guard_type_names: frozenset[str] = frozenset()
+
+        label = f"F{agent_index}"
+        self.es = WorkQueue(f"{label}.ES1")
+        self.es2 = WorkQueue(f"{label}.ES2")
+        self.ms = WorkQueue(f"{label}.MS")
+        self.guard_q = WorkQueue(f"{label}.GQ")  # always empty; kept for API
+
+        self.eb1: FragmentedBuffer[Event] = FragmentedBuffer(f"{label}.EB1")
+        self.mb1: FragmentedBuffer[PartialMatch] = FragmentedBuffer(f"{label}.MB1")
+        self.eb2: FragmentedBuffer[Event] = FragmentedBuffer(f"{label}.EB2")
+        self.mb2: FragmentedBuffer[PartialMatch] = FragmentedBuffer(f"{label}.MB2")
+        self.agb = AgentGlobalBuffer()
+
+        self.latest_e1 = float("-inf")
+        self.latest_e2 = float("-inf")
+        self.latest_m = float("-inf")
+        self.latest_internal = float("-inf")
+        self.items_processed = 0
+
+    # -- work intake ----------------------------------------------------- #
+
+    def has_event_work(self, now: float = float("inf")) -> bool:
+        return self.es.has_ready(now) or self.es2.has_ready(now)
+
+    def has_match_work(self, now: float = float("inf")) -> bool:
+        return self.ms.has_ready(now)
+
+    def has_any_work(self, now: float = float("inf")) -> bool:
+        return self.has_event_work(now) or self.has_match_work(now)
+
+    def pop(self, role: str, now: float = float("inf")) -> WorkItem | None:
+        if role == "event":
+            item = self.es.pop(now)
+            if item is not None:
+                return item
+            return self.es2.pop(now)
+        return self.ms.pop(now)
+
+    def queue_depth(self) -> int:
+        return len(self.es) + len(self.es2) + len(self.ms)
+
+    def maintenance(self) -> Receipt:
+        return Receipt()
+
+    def flush(self) -> Receipt:
+        return Receipt()
+
+    # -- processing ------------------------------------------------------ #
+
+    def process(self, item: WorkItem, unit_id: int) -> Receipt:
+        self.items_processed += 1
+        if item.kind is ItemKind.EVENT:
+            return self._process_e1(item.payload, unit_id)
+        if item.kind is ItemKind.EVENT2:
+            return self._process_e2(item.payload, unit_id)
+        if item.kind is ItemKind.MATCH:
+            return self._process_match(item.payload, unit_id)
+        raise AllocationError(f"fused agent cannot process {item.kind}")
+
+    def _process_e1(self, event: Event, unit_id: int) -> Receipt:
+        receipt = Receipt()
+        if event.timestamp > self.latest_e1:
+            self.latest_e1 = event.timestamp
+        horizon = self.latest_e1 - self.window - self.purge_slack
+        for owner, _fragment in self.mb1.fragments():
+            self._purge(self.mb1, owner, horizon, match=True)
+            resident = self.mb1._fragments.get(owner, ())
+            receipt.note_fragment(len(resident))
+            for partial in resident:
+                extended = self._join_first(partial, event, receipt)
+                if extended is not None:
+                    self._into_second(extended, unit_id, receipt)
+        self.eb1.store(unit_id, event)
+        self.agb.retain_event(event)
+        return receipt
+
+    def _process_e2(self, event: Event, unit_id: int) -> Receipt:
+        receipt = Receipt()
+        if event.timestamp > self.latest_e2:
+            self.latest_e2 = event.timestamp
+        horizon = self.latest_e2 - self.window - self.purge_slack
+        for owner, _fragment in self.mb2.fragments():
+            self._purge(self.mb2, owner, horizon, match=True)
+            resident = self.mb2._fragments.get(owner, ())
+            receipt.note_fragment(len(resident))
+            for partial in resident:
+                final = self._join_second(partial, event, receipt)
+                if final is not None:
+                    receipt.successes += 1
+                    receipt.emitted_down.append(final)
+        self.eb2.store(unit_id, event)
+        self.agb.retain_event(event)
+        return receipt
+
+    def _process_match(self, partial: PartialMatch, unit_id: int) -> Receipt:
+        receipt = Receipt()
+        if partial.timestamp > self.latest_m:
+            self.latest_m = partial.timestamp
+        horizon = self.latest_m - self.window - self.purge_slack
+        for owner, _fragment in self.eb1.fragments():
+            self._purge(self.eb1, owner, horizon, match=False)
+            resident = self.eb1._fragments.get(owner, ())
+            receipt.note_fragment(len(resident))
+            for event in resident:
+                extended = self._join_first(partial, event, receipt)
+                if extended is not None:
+                    self._into_second(extended, unit_id, receipt)
+        self.mb1.store(unit_id, partial)
+        self.agb.retain_match(partial)
+        return receipt
+
+    def _into_second(
+        self, extended: PartialMatch, unit_id: int, receipt: Receipt
+    ) -> None:
+        """An internal match entering MB2: join against EB2 immediately,
+        then store — the paper's 'written to MB_{i+1} triggering a
+        comparison against EB_{i+1}'."""
+        if extended.timestamp > self.latest_internal:
+            self.latest_internal = extended.timestamp
+        horizon = self.latest_internal - self.window - self.purge_slack
+        for owner, _fragment in self.eb2.fragments():
+            self._purge(self.eb2, owner, horizon, match=False)
+            resident = self.eb2._fragments.get(owner, ())
+            receipt.note_fragment(len(resident))
+            for event in resident:
+                final = self._join_second(extended, event, receipt)
+                if final is not None:
+                    receipt.successes += 1
+                    receipt.emitted_down.append(final)
+        self.mb2.store(unit_id, extended)
+        self.agb.retain_match(extended)
+
+    def _join_first(
+        self, partial: PartialMatch, event: Event, receipt: Receipt
+    ) -> PartialMatch | None:
+        if not partial.fits_with(event, self.window):
+            return None
+        if not seq_order_allows(partial, self.stages, self.first_index, event):
+            return None
+        receipt.comparisons += 1
+        if not self.first.accepts(partial, event):
+            return None
+        return partial.extended(self.first.item.name, event)
+
+    def _join_second(
+        self, partial: PartialMatch, event: Event, receipt: Receipt
+    ) -> PartialMatch | None:
+        if not partial.fits_with(event, self.window):
+            return None
+        if not seq_order_allows(partial, self.stages, self.second_index, event):
+            return None
+        receipt.comparisons += 1
+        if not self.second.accepts(partial, event):
+            return None
+        return partial.extended(self.second.item.name, event)
+
+    def _purge(self, buffer: FragmentedBuffer, owner: int, horizon: float,
+               match: bool) -> None:
+        if horizon <= float("-inf"):
+            return
+        fragment = buffer._fragments.get(owner)
+        if not fragment:
+            return
+        kept = []
+        for item in fragment:
+            stamp = item.timestamp
+            if stamp >= horizon:
+                kept.append(item)
+            elif match:
+                self.agb.release_match(item)
+            else:
+                self.agb.release_event(item)
+        if len(kept) != len(fragment):
+            buffer.purged += len(fragment) - len(kept)
+            if kept:
+                buffer._fragments[owner] = kept
+            else:
+                del buffer._fragments[owner]
+
+    # -- introspection ----------------------------------------------------- #
+
+    def snapshot(self) -> BufferSnapshot:
+        mb_pointers = sum(
+            partial.event_count() for partial in self.mb1.all_items()
+        ) + sum(partial.event_count() for partial in self.mb2.all_items())
+        return BufferSnapshot(
+            eb_items=self.eb1.total_items() + self.eb2.total_items(),
+            mb_items=self.mb1.total_items() + self.mb2.total_items(),
+            mb_pointers=mb_pointers,
+            agb_bytes=self.agb.current_bytes,
+        )
+
+    def working_set_items(self, unit_id: int) -> int:
+        total = 0
+        for buffer in (self.eb1, self.eb2, self.mb1, self.mb2):
+            fragment = buffer._fragments.get(unit_id)
+            if fragment:
+                total += len(fragment)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedAgentCore(F{self.agent_index}, stages="
+            f"{self.first_index}+{self.second_index})"
+        )
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Outcome of Algorithm 2: agent groups and the final allocation.
+
+    ``groups[i]`` lists the NFA stage indexes handled by chain position
+    ``i`` — a single stage for a plain agent, two for a fused one.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    per_agent: tuple[int, ...]
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.groups)
+
+    def fused_groups(self) -> tuple[int, ...]:
+        return tuple(
+            index for index, group in enumerate(self.groups) if len(group) > 1
+        )
+
+
+def _fusable(nfa: ChainNFA, group_a: tuple[int, ...],
+             group_b: tuple[int, ...]) -> bool:
+    """Only plain adjacent single-stage agents fuse (module docstring)."""
+    if len(group_a) > 1 or len(group_b) > 1:
+        return False
+    first, second = group_a[0], group_b[0]
+    stages = nfa.stages
+    if stages[first].is_kleene or stages[second].is_kleene:
+        return False
+    if stages[first - 1].guards_after or stages[first].guards_after:
+        return False
+    if stages[second].guards_after:
+        return False
+    return True
+
+
+def plan_with_fusion(
+    nfa: ChainNFA,
+    stats: WorkloadStatistics,
+    total_units: int,
+    costs: CostParameters | None = None,
+    force_pairs: Sequence[tuple[int, int]] = (),
+) -> FusionPlan:
+    """Algorithm 2: allocate, fuse under-provisioned agents, re-allocate.
+
+    ``force_pairs`` lets experiments fuse chosen adjacent stage pairs up
+    front (the Figure 12 setup fixes a pair per pattern in advance).
+    """
+    from repro.costmodel.model import LoadModel  # local to avoid cycle noise
+
+    num_agents = nfa.num_stages - 1
+    groups: list[tuple[int, ...]] = [(index + 1,) for index in range(num_agents)]
+
+    for first_stage, second_stage in force_pairs:
+        for position, group in enumerate(groups):
+            if group == (first_stage,):
+                if (
+                    position + 1 < len(groups)
+                    and groups[position + 1] == (second_stage,)
+                    and _fusable(nfa, group, groups[position + 1])
+                ):
+                    groups[position] = (first_stage, second_stage)
+                    del groups[position + 1]
+                break
+
+    model = LoadModel.for_nfa(nfa, stats, costs)
+
+    def group_loads(current: list[tuple[int, ...]]) -> list[float]:
+        loads = [load.total for load in model.agent_loads(total_units)]
+        return [sum(loads[stage - 1] for stage in group) for group in current]
+
+    def allocate(current: list[tuple[int, ...]]) -> list[int]:
+        return proportional_allocation(group_loads(current), total_units)
+
+    allocation = allocate(groups)
+    changed = True
+    while changed:
+        changed = False
+        for position, count in enumerate(allocation):
+            if count >= 2 or len(groups) == 1:
+                continue
+            # Fuse with the neighbour holding the smaller allocation
+            # (Algorithm 2 line 5), falling back to whichever side is
+            # fusable.
+            candidates = []
+            if position > 0 and _fusable(nfa, groups[position - 1],
+                                         groups[position]):
+                candidates.append(
+                    (allocation[position - 1], position - 1, position)
+                )
+            if position + 1 < len(groups) and _fusable(
+                nfa, groups[position], groups[position + 1]
+            ):
+                candidates.append(
+                    (allocation[position + 1], position, position + 1)
+                )
+            if not candidates:
+                continue
+            candidates.sort()
+            _load, left, right = candidates[0]
+            groups[left] = groups[left] + groups[right]
+            del groups[right]
+            allocation = allocate(groups)
+            changed = True
+            break
+    return FusionPlan(groups=tuple(groups), per_agent=tuple(allocation))
+
+
+def build_agent(
+    group: tuple[int, ...],
+    agent_index: int,
+    nfa: ChainNFA,
+    watermark: Callable[[], float],
+    is_last: bool,
+    purge_slack: float | None,
+):
+    """Instantiate the right core for one chain position."""
+    if len(group) == 1:
+        return AgentCore(
+            agent_index=agent_index,
+            stages=nfa.stages,
+            stage_index=group[0],
+            window=nfa.window,
+            watermark=watermark,
+            is_last=is_last,
+            purge_slack=purge_slack,
+        )
+    return FusedAgentCore(
+        agent_index=agent_index,
+        stages=nfa.stages,
+        first_stage_index=group[0],
+        window=nfa.window,
+        watermark=watermark,
+        is_last=is_last,
+        purge_slack=purge_slack,
+    )

@@ -1,0 +1,99 @@
+"""The splitter (paper Section 3.1).
+
+A lightweight sequential component that partitions the global input stream
+by event type and fans the substreams out to the agents.  Since it inspects
+one event at a time to make a routing decision it does not suffer from the
+CEP scalability problem and can safely remain sequential (paper footnote 1).
+
+The splitter also owns the *watermark*: the timestamp of the last routed
+event.  Because the global stream is in-order, every event with a smaller
+timestamp has already been placed on some agent queue — the property the
+negation quarantine relies on.
+
+Events of the first stage's type are wrapped as singleton partial matches
+and pushed to the first agent's match stream (the first agent represents
+the first two NFA states; paper footnote 2).  Stage-0 unary conditions are
+applied here, at seed creation, mirroring the sequential engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+from repro.core.matches import PartialMatch
+from repro.core.nfa import ChainNFA
+from repro.hypersonic.items import ItemKind, WorkItem, WorkQueue
+
+__all__ = ["RouteTarget", "Splitter", "SplitterReceipt"]
+
+
+@dataclass(frozen=True)
+class RouteTarget:
+    """One destination for a type's substream."""
+
+    queue: WorkQueue
+    kind: ItemKind
+    seed_position: str | None = None  # set for stage-0 seeds
+    is_event2: bool = False           # second event input of a fused agent
+
+
+@dataclass
+class SplitterReceipt:
+    """Work performed for one routed event."""
+
+    pushes: int = 0
+    comparisons: int = 0
+    dropped: bool = False
+
+
+@dataclass
+class Splitter:
+    """Routes events by type; see module docstring."""
+
+    nfa: ChainNFA
+    routes: dict[str, list[RouteTarget]] = field(default_factory=dict)
+    watermark: float = float("-inf")
+    events_routed: int = 0
+    _sealed: bool = False
+
+    def add_route(self, type_name: str, target: RouteTarget) -> None:
+        self.routes.setdefault(type_name, []).append(target)
+
+    def route(self, event: Event, ready_at: float = 0.0) -> SplitterReceipt:
+        """Push *event* to every consumer of its type.
+
+        Returns the receipt the drivers use for cost accounting.  Events of
+        types the pattern does not reference are dropped (counted in the
+        receipt) — the splitter is the system's type filter.
+        """
+        receipt = SplitterReceipt()
+        if event.timestamp > self.watermark:
+            self.watermark = event.timestamp
+        targets = self.routes.get(event.type.name)
+        if not targets:
+            receipt.dropped = True
+            return receipt
+        self.events_routed += 1
+        stage0 = self.nfa.stages[0]
+        for target in targets:
+            if target.seed_position is not None:
+                receipt.comparisons += 1
+                if not stage0.accepts(PartialMatch.empty(), event):
+                    continue
+                seed = PartialMatch.of(target.seed_position, event)
+                target.queue.push(WorkItem(ItemKind.MATCH, seed), ready_at)
+            else:
+                target.queue.push(WorkItem(target.kind, event), ready_at)
+            receipt.pushes += 1
+        return receipt
+
+    def seal(self) -> None:
+        """Mark end of stream: the watermark jumps to +inf so agents can
+        release every quarantined candidate and purge freely."""
+        self._sealed = True
+        self.watermark = float("inf")
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed

@@ -1,0 +1,5 @@
+"""Real-threads runtime for the agent pipeline (functional, GIL-bound)."""
+
+from repro.runtime.threads import ThreadedPipelineEngine
+
+__all__ = ["ThreadedPipelineEngine"]

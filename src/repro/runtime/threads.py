@@ -1,0 +1,259 @@
+"""A real-threads runtime for the agent pipeline.
+
+This module runs the HYPERSONIC agent chain on actual OS threads — one
+thread per agent, communicating through thread-safe queues — and returns
+the exact match set.  It demonstrates the architecture live (true
+producer-consumer concurrency, real queue backpressure) and serves as the
+functional bridge between the deterministic driver and the simulator.
+
+Honesty note (DESIGN.md Section 2): under CPython's GIL this runtime
+cannot exhibit multi-core *speedups*; throughput and latency claims are
+reproduced on the virtual-time simulator instead.  What threads add here
+is evidence that the pipeline protocol — splitter routing, buffered joins,
+watermark-based purging, negation quarantine — is correct under genuinely
+asynchronous interleavings, not only under the cooperative scheduler.
+
+Concurrency discipline: one thread owns each agent, so an agent's buffers
+are single-writer and need no locks; only the inter-agent queues and the
+splitter watermark are shared (the watermark is a monotone float — benign
+to read stale, and Python guarantees tear-free reads).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import EngineError, PatternError
+from repro.core.events import Event, validate_stream_order
+from repro.core.matches import Match, PartialMatch
+from repro.core.nfa import compile_pattern
+from repro.core.patterns import Operator, Pattern
+from repro.hypersonic.agent import AgentCore
+from repro.hypersonic.items import ItemKind, WorkItem
+
+__all__ = ["ThreadedPipelineEngine"]
+
+_STOP = object()
+
+
+@dataclass
+class _Channel:
+    """Thread-safe bridge feeding one agent."""
+
+    events: "queue.Queue[object]" = field(
+        default_factory=lambda: queue.Queue(maxsize=1024)
+    )
+
+
+class _QueueAdapter:
+    """Adapts the agent's pull-based queues to the threaded push model.
+
+    The owning thread drains its thread-safe inbox into the agent's
+    in-process queues, preserving the agent logic unchanged.
+    """
+
+    def __init__(self, agent: AgentCore) -> None:
+        self.agent = agent
+        self.inbox: "queue.Queue[object]" = queue.Queue(maxsize=2048)
+
+    def transfer(self, item) -> None:
+        kind, payload = item
+        if kind is ItemKind.MATCH:
+            self.agent.ms.push(WorkItem(ItemKind.MATCH, payload))
+        elif kind is ItemKind.GUARD:
+            self.agent.guard_q.push(WorkItem(ItemKind.GUARD, payload))
+        else:
+            self.agent.es.push(WorkItem(ItemKind.EVENT, payload))
+
+
+class ThreadedPipelineEngine:
+    """One thread per agent; real queues; exact match set.
+
+    Usage::
+
+        engine = ThreadedPipelineEngine(pattern)
+        matches = engine.run(events)
+    """
+
+    def __init__(self, pattern: Pattern, queue_capacity: int = 2048) -> None:
+        if pattern.operator is not Operator.SEQ:
+            raise PatternError("the threaded pipeline evaluates SEQ patterns")
+        self.pattern = pattern
+        self.nfa = compile_pattern(pattern)
+        if self.nfa.num_stages < 2:
+            raise PatternError("need at least two positive event types")
+        if self.nfa.stages[0].is_kleene:
+            raise PatternError(
+                "Kleene closure on the first event type is not supported"
+            )
+        self.queue_capacity = queue_capacity
+        self._watermark = float("-inf")
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, events: Iterable[Event],
+            timeout: float = 120.0) -> list[Match]:
+        if self._ran:
+            raise EngineError("run() may only be called once per engine")
+        self._ran = True
+        nfa = self.nfa
+        num_agents = nfa.num_stages - 1
+
+        agents = [
+            AgentCore(
+                agent_index=index,
+                stages=nfa.stages,
+                stage_index=index + 1,
+                window=nfa.window,
+                watermark=lambda: self._watermark,
+                is_last=index == num_agents - 1,
+            )
+            for index in range(num_agents)
+        ]
+        adapters = [_QueueAdapter(agent) for agent in agents]
+        matches: list[Match] = []
+        matches_lock = threading.Lock()
+        failures: list[BaseException] = []
+
+        def agent_loop(index: int) -> None:
+            agent = agents[index]
+            adapter = adapters[index]
+            downstream = adapters[index + 1] if index + 1 < num_agents else None
+            def drain_inbox_nonblocking() -> bool:
+                """Move every pending inbox item into the agent's queues.
+
+                Doing this *before* any processing is what keeps the
+                negation quarantine sound: once the watermark passes a
+                release point, every striking guard event is already in
+                the inbox, so transferring first guarantees the release
+                check sees it.
+                """
+                stop_seen = False
+                while True:
+                    try:
+                        pending = adapter.inbox.get_nowait()
+                    except queue.Empty:
+                        return stop_seen
+                    if pending is _STOP:
+                        stop_seen = True
+                    else:
+                        adapter.transfer(pending)
+
+            try:
+                stopping = False
+                while True:
+                    incoming = None
+                    try:
+                        incoming = adapter.inbox.get(timeout=0.05)
+                    except queue.Empty:
+                        pass
+                    if incoming is _STOP:
+                        stopping = True
+                    elif incoming is not None:
+                        adapter.transfer(incoming)
+                    # Transfer the whole pending inbox BEFORE any watermark-
+                    # dependent decision (see drain_inbox_nonblocking).
+                    if drain_inbox_nonblocking():
+                        stopping = True
+                    processed = False
+                    while True:
+                        item = agent.pop("event")
+                        if item is None:
+                            item = agent.pop("match")
+                        if item is None:
+                            break
+                        processed = True
+                        receipt = agent.process(item, unit_id=index)
+                        self._dispatch(receipt, downstream, matches,
+                                       matches_lock)
+                    if not processed and incoming is None and not stopping:
+                        # Idle: release any quarantine whose point passed.
+                        # Safe because the inbox was drained just above —
+                        # the splitter transfers a guard event before it
+                        # ever advances the watermark past that event.
+                        receipt = agent.maintenance()
+                        self._dispatch(receipt, downstream, matches,
+                                       matches_lock)
+                    if stopping:
+                        receipt = agent.flush()
+                        self._dispatch(receipt, downstream, matches,
+                                       matches_lock)
+                        if downstream is not None:
+                            downstream.inbox.put(_STOP)
+                        return
+            except BaseException as error:  # surface to the caller
+                failures.append(error)
+                if downstream is not None:
+                    downstream.inbox.put(_STOP)
+
+        threads = [
+            threading.Thread(target=agent_loop, args=(index,), daemon=True)
+            for index in range(num_agents)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # The main thread plays the splitter.
+        stage0 = nfa.stages[0]
+        routes = self._build_routes(adapters)
+        for event in validate_stream_order(events):
+            self._watermark = max(self._watermark, event.timestamp)
+            targets = routes.get(event.type.name, ())
+            for kind, adapter in targets:
+                if kind is ItemKind.MATCH:
+                    if stage0.accepts(PartialMatch.empty(), event):
+                        seed = PartialMatch.of(stage0.item.name, event)
+                        adapter.inbox.put((ItemKind.MATCH, seed))
+                else:
+                    adapter.inbox.put((kind, event))
+        self._watermark = float("inf")
+        adapters[0].inbox.put(_STOP)
+        for thread in threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                raise EngineError("threaded pipeline did not drain in time")
+        if failures:
+            raise failures[0]
+        return matches
+
+    # ------------------------------------------------------------------ #
+
+    def _build_routes(self, adapters):
+        nfa = self.nfa
+        routes: dict[str, list] = {}
+        stage0 = nfa.stages[0]
+        routes.setdefault(stage0.event_type_name, []).append(
+            (ItemKind.MATCH, adapters[0])
+        )
+        for index, adapter in enumerate(adapters):
+            agent = adapter.agent
+            routes.setdefault(agent.stage.event_type_name, []).append(
+                (ItemKind.EVENT, adapter)
+            )
+            for type_name in agent.guard_type_names:
+                routes.setdefault(type_name, []).append(
+                    (ItemKind.GUARD, adapter)
+                )
+        return routes
+
+    @staticmethod
+    def _dispatch(receipt, downstream, matches, matches_lock) -> None:
+        for partial in receipt.emitted_self:
+            raise EngineError(
+                "unexpected self-loop emission; Kleene growth is inline"
+            )
+        if downstream is not None:
+            for partial in receipt.emitted_down:
+                downstream.inbox.put((ItemKind.MATCH, partial))
+        elif receipt.emitted_down:
+            with matches_lock:
+                for partial in receipt.emitted_down:
+                    matches.append(
+                        Match.from_partial(
+                            partial, detected_at=partial.latest
+                        )
+                    )

@@ -1,0 +1,25 @@
+"""Discrete-event simulation of execution units (the performance substrate).
+
+The CPython GIL prevents real multi-core throughput measurements, so the
+paper's performance evaluation is reproduced on a virtual-time simulator of
+homogeneous execution units driven by the paper's own cost model; see
+DESIGN.md Section 2 for the substitution argument.
+"""
+
+from repro.simulator.cache import CacheModel
+from repro.simulator.hypersonic_sim import HypersonicSimulation, simulate_hypersonic
+from repro.simulator.metrics import LatencyAccumulator, SimResult
+from repro.simulator.partition_sim import SequentialSimEngine, simulate_partitioned
+from repro.simulator.runner import STRATEGIES, simulate
+
+__all__ = [
+    "CacheModel",
+    "HypersonicSimulation",
+    "simulate_hypersonic",
+    "LatencyAccumulator",
+    "SimResult",
+    "SequentialSimEngine",
+    "simulate_partitioned",
+    "STRATEGIES",
+    "simulate",
+]

@@ -1,0 +1,391 @@
+"""Discrete-event simulation of the HYPERSONIC agent chain.
+
+Runs the *same* functional components as the deterministic driver —
+splitter, agents, worker policy — under a virtual clock.  Every processed
+work item advances its unit's clock by the modelled cost of the actions the
+item's :class:`~repro.hypersonic.items.Receipt` records:
+
+    locks * b  +  comparisons * c  +  scan(touch, fragments)  +  pushes * q
+
+so scheduling decisions (outer allocation, role dynamics, migration,
+fusion) manifest as virtual-time throughput, latency, and memory — the
+quantities of the paper's Figures 7–12 — while the emitted match set stays
+exactly correct (every simulated run still produces the full match set and
+the tests verify it).
+
+Injection is closed-loop: the splitter routes the next input event as soon
+as the number of in-flight items falls below ``inflight_cap``, modelling a
+saturated source with bounded channel capacity.  Event *arrival time* is
+its injection time; a match's detection latency is its completion time
+minus the arrival time of its latest constituent event (the paper's
+definition, Section 5.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.events import Event
+from repro.core.matches import Match
+from repro.core.patterns import Pattern
+from repro.costmodel.model import CostParameters, WorkloadStatistics
+from repro.hypersonic.buffers import BufferSnapshot
+from repro.hypersonic.engine import HypersonicConfig, HypersonicEngine
+from repro.hypersonic.items import ItemKind, Receipt, WorkItem
+from repro.simulator.cache import CacheModel
+from repro.simulator.metrics import LatencyAccumulator, SimResult
+
+__all__ = ["HypersonicSimulation", "simulate_hypersonic"]
+
+_INJECT = 0
+_WAKE = 1
+
+
+@dataclass
+class _SimKnobs:
+    inflight_cap: int = 96
+    snapshot_interval: int = 128
+    queue_item_pointers: int = 4  # modelled pointer footprint of a queued item
+
+
+class HypersonicSimulation:
+    """One simulated run of the hybrid engine on a finite stream."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        num_units: int,
+        config: HypersonicConfig | None = None,
+        stats: WorkloadStatistics | None = None,
+        costs: CostParameters | None = None,
+        cache: CacheModel | None = None,
+        inflight_cap: int = 96,
+        snapshot_interval: int = 128,
+        strategy_name: str = "hypersonic",
+        pace: float | None = None,
+    ) -> None:
+        self.engine = HypersonicEngine(
+            pattern, num_units, config=config, stats=stats, costs=costs
+        )
+        self.costs = self.engine.costs
+        self.cache = cache if cache is not None else CacheModel()
+        self.knobs = _SimKnobs(
+            inflight_cap=inflight_cap, snapshot_interval=snapshot_interval
+        )
+        self.strategy_name = strategy_name
+        # Paced (open-loop) injection disables backpressure: events arrive
+        # at a fixed virtual-time interval, modelling steady-state operation
+        # below saturation — the regime latency is measured in.
+        self.pace = pace
+
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._unit_free: list[float] = []
+        self._unit_busy: list[float] = []
+        self._parked: set[int] = set()
+        self._in_flight = 0
+        self._splitter_parked = False
+        self._inject_times: dict[int, float] = {}
+        self._latency = LatencyAccumulator()
+        self._matches: list[Match] = []
+        self._peak_memory = 0
+        self._items_processed = 0
+        self._comparisons = 0
+        self._total_work = 0.0
+        self._events_routed = 0
+        self._exhausted = False
+        self._flushed = False
+        self._now = 0.0
+        # Shared-heap payload accounting: on a single server all components
+        # reference the same event objects, so raw payload is counted once
+        # system-wide over the active window (see module docstring of
+        # repro.simulator and EXPERIMENTS.md).  Tracked incrementally.
+        self._window_events: list[tuple[float, int]] = []
+        self._window_payload = 0
+        self._window_head = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, events: Iterable[Event]) -> SimResult:
+        engine = self.engine
+        event_list = events if isinstance(events, list) else list(events)
+        engine.ensure_statistics(event_list[: engine.config.sample_size])
+        engine.build()
+        self._unit_free = [0.0] * len(engine.units)
+        self._unit_busy = [0.0] * len(engine.units)
+        self._parked = set(range(len(engine.units)))
+        self._stream = iter(event_list)
+        self._expected_events = len(event_list)
+
+        self._schedule(0.0, _INJECT, 0)
+        while True:
+            while self._heap:
+                time, _seq, tag, payload = heapq.heappop(self._heap)
+                self._now = max(self._now, time)
+                if tag == _INJECT:
+                    self._do_inject(time)
+                else:
+                    self._do_wake(payload, time)
+            if self._exhausted and not self._flushed:
+                self._do_flush()
+                if self._heap:
+                    continue
+            break
+
+        total_time = max(self._now, max(self._unit_free, default=0.0))
+        throughput = (
+            self._events_routed / total_time if total_time > 0 else 0.0
+        )
+        return SimResult(
+            strategy=self.strategy_name,
+            num_units=len(engine.units),
+            events=self._events_routed,
+            matches=len(self._matches),
+            total_time=total_time,
+            throughput=throughput,
+            avg_latency=self._latency.mean,
+            p95_latency=self._latency.percentile(0.95),
+            max_latency=self._latency.max_value,
+            peak_memory_bytes=self._peak_memory,
+            total_comparisons=self._comparisons,
+            total_work=self._total_work,
+            duplication_factor=1.0,
+            unit_busy=list(self._unit_busy),
+            extra={
+                "hops": sum(unit.hops for unit in engine.units),
+                "per_agent_items": [
+                    agent.items_processed for agent in engine.agents
+                ],
+                "allocation": (
+                    list(engine.allocation_plan.per_agent)
+                    if engine.allocation_plan is not None
+                    else list(engine.fusion_plan.per_agent)
+                ),
+            },
+        )
+
+    @property
+    def matches(self) -> list[Match]:
+        return self._matches
+
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, time: float, tag: int, payload: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, tag, payload))
+
+    def _do_inject(self, time: float) -> None:
+        if self.pace is None and self._in_flight >= self.knobs.inflight_cap:
+            self._splitter_parked = True
+            return
+        event = next(self._stream, None)
+        if event is None:
+            self._exhausted = True
+            return
+        splitter = self.engine.splitter
+        assert splitter is not None
+        receipt = splitter.route(event, ready_at=time)
+        if not receipt.dropped:
+            self._events_routed += 1
+            self._inject_times[event.event_id] = time
+            self._in_flight += receipt.pushes
+            self._comparisons += receipt.comparisons
+            self._track_window(event)
+            self._wake_consumers_of_push(time)
+        cost = max(
+            receipt.pushes * self.costs.queue_push
+            + receipt.comparisons * self.costs.comparison,
+            self.costs.queue_push,
+        )
+        self._total_work += cost
+        interval = self.pace if self.pace is not None else cost
+        self._schedule(time + interval, _INJECT, 0)
+
+    def _wake_consumers_of_push(self, time: float) -> None:
+        """Wake every parked unit that might now have work.
+
+        With agent-dynamic allocation any parked unit can hop to the agent
+        that just received work, so all parked units wake; otherwise only
+        residents of agents with ready items need to.
+        """
+        if not self._parked:
+            return
+        engine = self.engine
+        agent_dynamic = engine.config.agent_dynamic
+        to_wake = []
+        for unit_id in self._parked:
+            if agent_dynamic:
+                to_wake.append(unit_id)
+                continue
+            unit = engine.units[unit_id]
+            if engine.agents[unit.current_agent].has_any_work(float("inf")):
+                to_wake.append(unit_id)
+        for unit_id in to_wake:
+            self._parked.discard(unit_id)
+            self._schedule(time, _WAKE, unit_id)
+
+    def _do_wake(self, unit_id: int, time: float) -> None:
+        engine = self.engine
+        if time < self._unit_free[unit_id]:
+            return  # stale wake; the completion wake will re-drive it
+        unit = engine.units[unit_id]
+        policy = engine.policy
+        assert policy is not None
+        selection = policy.select(unit, now=time)
+        if selection is None:
+            agent = engine.agents[unit.current_agent]
+            receipt = agent.maintenance()
+            if receipt.pushes:
+                done = time + receipt.pushes * self.costs.queue_push
+                self._route(agent, receipt, done, unit_id)
+                self._schedule(done, _WAKE, unit_id)
+                return
+            next_ready = self._next_ready_time(unit)
+            if next_ready is not None and next_ready > time:
+                self._schedule(next_ready, _WAKE, unit_id)
+            else:
+                self._parked.add(unit_id)
+            return
+        agent = engine.agents[selection.agent_index]
+        self._in_flight -= 1
+        receipt = agent.process(selection.item, unit_id)
+        cost = self._cost_of(receipt)
+        done = time + cost
+        self._unit_free[unit_id] = done
+        self._unit_busy[unit_id] += cost
+        unit.items_processed += 1
+        self._items_processed += 1
+        self._comparisons += receipt.comparisons
+        self._total_work += cost
+        self._route(agent, receipt, done, unit_id)
+        if self._splitter_parked and self._in_flight < self.knobs.inflight_cap:
+            self._splitter_parked = False
+            self._schedule(done, _INJECT, 0)
+        self._schedule(done, _WAKE, unit_id)
+        # Backlog invitation: if this agent still has queued work and units
+        # are parked elsewhere, wake them — during a drain (no new pushes)
+        # nothing else would, and idle units must get the chance to migrate
+        # (agent-dynamic) or resume (role-dynamic).
+        if self._parked and agent.queue_depth() > 2:
+            self._wake_consumers_of_push(done)
+        if self._items_processed % self.knobs.snapshot_interval == 0:
+            self._sample_memory()
+
+    def _cost_of(self, receipt: Receipt) -> float:
+        penalty = self.cache.comparison_penalty(receipt.scanned, receipt.scan_sq)
+        return (
+            receipt.fragments_locked * self.costs.lock
+            + receipt.comparisons * self.costs.comparison * penalty
+            + self.cache.scan_cost(receipt.scanned, receipt.scan_sq)
+            + receipt.pushes * self.costs.queue_push
+        )
+
+    def _route(self, agent, receipt: Receipt, done: float, unit_id: int) -> None:
+        engine = self.engine
+        position = agent.agent_index
+        for partial in receipt.emitted_self:
+            agent.ms.push(WorkItem(ItemKind.MATCH, partial), ready_at=done)
+            self._in_flight += 1
+        if position + 1 < len(engine.agents):
+            downstream = engine.agents[position + 1]
+            for partial in receipt.emitted_down:
+                downstream.ms.push(WorkItem(ItemKind.MATCH, partial), ready_at=done)
+                self._in_flight += 1
+        else:
+            for partial in receipt.emitted_down:
+                self._matches.append(Match.from_partial(partial, detected_at=done))
+                latest_id = max(
+                    partial.events(), key=lambda e: (e.timestamp, e.event_id)
+                ).event_id
+                arrival = self._inject_times.get(latest_id)
+                if arrival is not None:
+                    self._latency.add(done - arrival)
+        if receipt.pushes:
+            self._wake_consumers_of_push(done)
+
+    def _next_ready_time(self, unit) -> float | None:
+        agent = self.engine.agents[unit.current_agent]
+        candidates = []
+        for queue in (agent.es, agent.ms, agent.guard_q):
+            ready = queue.peek_ready_at()
+            if ready is not None:
+                candidates.append(ready)
+        queue2 = getattr(agent, "es2", None)
+        if queue2 is not None:
+            ready = queue2.peek_ready_at()
+            if ready is not None:
+                candidates.append(ready)
+        return min(candidates) if candidates else None
+
+    def _do_flush(self) -> None:
+        self._flushed = True
+        splitter = self.engine.splitter
+        assert splitter is not None
+        splitter.seal()
+        time = max(self._now, max(self._unit_free, default=0.0))
+        for agent in self.engine.agents:
+            for receipt in (agent.maintenance(), agent.flush()):
+                if receipt.pushes:
+                    self._route(agent, receipt, time, unit_id=-1)
+        # Wake everything for the post-seal drain.
+        for unit_id in list(self._parked):
+            self._parked.discard(unit_id)
+            self._schedule(time, _WAKE, unit_id)
+
+    def _track_window(self, event: Event) -> None:
+        self._window_events.append((event.timestamp, event.payload_size))
+        self._window_payload += event.payload_size
+        horizon = event.timestamp - self.engine.nfa.window
+        head = self._window_head
+        entries = self._window_events
+        while head < len(entries) and entries[head][0] < horizon:
+            self._window_payload -= entries[head][1]
+            head += 1
+        self._window_head = head
+        if head > 4096:
+            del entries[:head]
+            self._window_head = 0
+
+    def _sample_memory(self) -> None:
+        snapshot = BufferSnapshot.merge(
+            [agent.snapshot() for agent in self.engine.agents]
+        )
+        pointer = self.costs.pointer_size
+        queued = self._in_flight * self.knobs.queue_item_pointers * pointer
+        total = (
+            snapshot.pointer_items * pointer
+            + snapshot.mb_items * self.costs.match_overhead
+            + self._window_payload
+            + queued
+        )
+        if total > self._peak_memory:
+            self._peak_memory = total
+
+
+def simulate_hypersonic(
+    pattern: Pattern,
+    events: Sequence[Event],
+    num_units: int,
+    config: HypersonicConfig | None = None,
+    stats: WorkloadStatistics | None = None,
+    costs: CostParameters | None = None,
+    cache: CacheModel | None = None,
+    inflight_cap: int = 96,
+    strategy_name: str = "hypersonic",
+    pace: float | None = None,
+) -> SimResult:
+    """Convenience wrapper: build, simulate, return the result."""
+    simulation = HypersonicSimulation(
+        pattern,
+        num_units,
+        config=config,
+        stats=stats,
+        costs=costs,
+        cache=cache,
+        inflight_cap=inflight_cap,
+        strategy_name=strategy_name,
+        pace=pace,
+    )
+    return simulation.run(list(events))

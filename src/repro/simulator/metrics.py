@@ -1,0 +1,102 @@
+"""Simulation result records and metric helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyAccumulator", "SimResult"]
+
+
+class LatencyAccumulator:
+    """Streaming mean/percentile tracker for detection latencies.
+
+    Keeps a bounded reservoir for percentiles so multi-million-match runs
+    stay in constant memory.
+    """
+
+    __slots__ = ("count", "total", "max_value", "_reservoir", "_capacity", "_stride")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self._reservoir: list[float] = []
+        self._capacity = capacity
+        self._stride = 1
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if self.count % self._stride == 0:
+            self._reservoir.append(value)
+            if len(self._reservoir) >= self._capacity:
+                # Decimate: keep every other sample, double the stride.
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one strategy on one workload.
+
+    ``total_time`` is virtual (work units); ``throughput`` is events per
+    virtual time unit.  ``peak_memory_bytes`` uses the shared accounting
+    basis: one pointer per buffered event reference plus each engine /
+    agent's own copy of the payloads it retains (so data duplication shows
+    up, and HYPERSONIC's AGB dedup pays off, as in the paper's Figure 9).
+    """
+
+    strategy: str
+    num_units: int
+    events: int
+    matches: int
+    total_time: float
+    throughput: float
+    avg_latency: float
+    p95_latency: float
+    max_latency: float
+    peak_memory_bytes: int
+    total_comparisons: int
+    total_work: float
+    duplication_factor: float = 1.0
+    unit_busy: list[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def avg_utilization(self) -> float:
+        if not self.unit_busy or self.total_time <= 0:
+            return 0.0
+        return sum(self.unit_busy) / (len(self.unit_busy) * self.total_time)
+
+    def gain_over(self, baseline: "SimResult") -> float:
+        """Relative throughput gain over *baseline* (Figure 7's metric)."""
+        if baseline.throughput <= 0:
+            return float("inf")
+        return self.throughput / baseline.throughput
+
+    def summary_row(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "units": self.num_units,
+            "events": self.events,
+            "matches": self.matches,
+            "throughput": round(self.throughput, 4),
+            "avg_latency": round(self.avg_latency, 3),
+            "peak_memory_kb": round(self.peak_memory_bytes / 1024.0, 1),
+        }

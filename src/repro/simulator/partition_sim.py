@@ -1,0 +1,273 @@
+"""Virtual-time simulation of partition-based strategies.
+
+Covers the sequential baseline and the data-parallel competitors (RIP,
+RR/JSQ/LLSF): each partition runs a real :class:`SequentialEngine` over its
+(overlapping) substream, and the per-event work it measures — condition
+comparisons plus buffer traversal with the cache-pressure term — becomes a
+*task* for the partition's execution unit.  Units execute their tasks
+serially; a dispatcher injects each input event when the closed-loop
+in-flight cap allows, paying one queue push per replica.
+
+The loop is event-major so that all partitions overlapping an event are
+active simultaneously and the sampled memory reflects true concurrent
+duplication (the whole point of Figure 9's comparison).
+
+Correctness is preserved exactly as in the functional engines: matches are
+deduplicated by the ownership rule and the simulated run returns the full
+match set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.events import Event
+from repro.core.matches import Match
+from repro.core.patterns import Pattern
+from repro.costmodel.model import CostParameters
+from repro.baselines.partitioned import Partition, PartitionedEngine
+from repro.engine.sequential import SequentialEngine
+from repro.simulator.cache import CacheModel
+from repro.simulator.metrics import LatencyAccumulator, SimResult
+
+__all__ = ["SequentialSimEngine", "simulate_partitioned"]
+
+
+class SequentialSimEngine(PartitionedEngine):
+    """The sequential baseline expressed as a single whole-stream partition
+    on a single unit — so one simulator covers it and the data-parallel
+    strategies uniformly."""
+
+    def __init__(self, pattern: Pattern) -> None:
+        super().__init__(pattern, num_units=1)
+
+    def partitions(self, events: Sequence[Event]):
+        if not events:
+            return
+        yield Partition(
+            index=0,
+            events=tuple(events),
+            own_start=float("-inf"),
+            own_end=float("inf"),
+            own_start_id=-1,
+            own_end_id=1 << 62,
+        )
+
+    def assign_unit(self, partition: Partition,
+                    unit_loads: list[float]) -> int:
+        return 0
+
+
+@dataclass
+class _ActiveRun:
+    partition: Partition
+    unit: int
+    engine: SequentialEngine
+    begin: int
+    end: int
+    comparisons_seen: int = 0
+
+
+@dataclass
+class _SimState:
+    unit_free: list[float]
+    unit_busy: list[float]
+    completions: list[tuple[float, int]] = field(default_factory=list)
+    outstanding: int = 0
+
+
+def simulate_partitioned(
+    engine: PartitionedEngine,
+    events: Sequence[Event],
+    costs: CostParameters | None = None,
+    cache: CacheModel | None = None,
+    inflight_cap: int = 96,
+    snapshot_interval: int = 128,
+    strategy_name: str | None = None,
+    reported_units: int | None = None,
+    pace: float | None = None,
+) -> SimResult:
+    """Simulate *engine* (a partition strategy) over *events*."""
+    costs = costs if costs is not None else CostParameters()
+    cache = cache if cache is not None else CacheModel()
+    event_list = list(events)
+    name = strategy_name or type(engine).__name__.replace("Engine", "").lower()
+
+    index_of = {event.event_id: i for i, event in enumerate(event_list)}
+    partitions = sorted(
+        engine.partitions(event_list),
+        key=lambda p: index_of[p.events[0].event_id],
+    )
+    num_units = engine.num_units
+    unit_loads = [0.0] * num_units
+    state = _SimState(unit_free=[0.0] * num_units, unit_busy=[0.0] * num_units)
+    latency = LatencyAccumulator()
+    matches: list[Match] = []
+    peak_memory = 0
+    total_comparisons = 0
+    total_work = 0.0
+    total_tasks = 0
+    inject = 0.0
+    next_partition = 0
+    active: list[_ActiveRun] = []
+
+    def task(run: _ActiveRun, cost: float, arrival: float,
+             owned_matches: list[Match]) -> None:
+        nonlocal total_work, total_tasks
+        start = max(arrival, state.unit_free[run.unit])
+        done = start + cost
+        state.unit_free[run.unit] = done
+        state.unit_busy[run.unit] += cost
+        unit_loads[run.unit] += cost
+        heapq.heappush(state.completions, (done, run.unit))
+        state.outstanding += 1
+        total_work += cost
+        total_tasks += 1
+        for match in owned_matches:
+            matches.append(match)
+            latency.add(done - arrival)
+
+    def event_cost(run: _ActiveRun) -> float:
+        nonlocal total_comparisons
+        delta = run.engine.stats.comparisons - run.comparisons_seen
+        run.comparisons_seen = run.engine.stats.comparisons
+        total_comparisons += delta
+        scan = scan_sq = 0
+        for size in run.engine.pool_sizes():
+            scan += size
+            scan_sq += size * size
+        penalty = cache.comparison_penalty(scan, scan_sq)
+        return (
+            delta * costs.comparison * penalty
+            + cache.scan_cost(scan, scan_sq)
+        )
+
+    for position, event in enumerate(event_list):
+        if pace is not None:
+            # Open-loop paced arrival for the latency measurement pass.
+            inject = position * pace
+        else:
+            # Closed-loop backpressure.
+            while state.outstanding >= inflight_cap and state.completions:
+                done, _unit = heapq.heappop(state.completions)
+                state.outstanding -= 1
+                if done > inject:
+                    inject = done
+        # Activate partitions starting here.
+        while (
+            next_partition < len(partitions)
+            and index_of[partitions[next_partition].events[0].event_id]
+            <= position
+        ):
+            partition = partitions[next_partition]
+            unit = engine.assign_unit(partition, unit_loads)
+            begin = position
+            active.append(
+                _ActiveRun(
+                    partition=partition,
+                    unit=unit,
+                    engine=SequentialEngine(engine.pattern),
+                    begin=begin,
+                    end=begin + len(partition.events),
+                )
+            )
+            next_partition += 1
+        # Retire finished partitions.
+        still_active = []
+        for run in active:
+            if position >= run.end:
+                closing = [
+                    match
+                    for match in run.engine.close()
+                    if run.partition.owns(match)
+                ]
+                if closing:
+                    cost = event_cost(run) + len(closing) * costs.queue_push
+                    task(run, cost, inject, closing)
+            else:
+                still_active.append(run)
+        active = still_active
+
+        replicas = sum(1 for run in active if run.begin <= position < run.end)
+        if pace is None:
+            inject += max(replicas, 1) * costs.queue_push
+        for run in active:
+            if not run.begin <= position < run.end:
+                continue
+            emitted = run.engine.process(event)
+            owned = [m for m in emitted if run.partition.owns(m)]
+            cost = event_cost(run) + len(emitted) * costs.queue_push
+            task(run, cost, inject, owned)
+
+        if position % snapshot_interval == 0:
+            # Shared-heap accounting (see EXPERIMENTS.md): raw in-window
+            # payload counted once system-wide; each replica pays for its
+            # own derived state (partial matches and buffers) in pointers.
+            pointer_total = 0
+            match_total = 0
+            for run in active:
+                pointers, _payload = run.engine.memory_profile(
+                    costs.pointer_size
+                )
+                pointer_total += pointers
+                match_total += run.engine.buffered_match_count()
+            payload_total = _shared_window_payload(position, event_list,
+                                                   engine.pattern.window)
+            memory = (
+                pointer_total * costs.pointer_size
+                + match_total * costs.match_overhead
+                + payload_total
+            )
+            if memory > peak_memory:
+                peak_memory = memory
+
+    # Retire the tail partitions.
+    for run in active:
+        closing = [
+            match for match in run.engine.close() if run.partition.owns(match)
+        ]
+        cost = event_cost(run) + len(closing) * costs.queue_push
+        task(run, cost, inject, closing)
+
+    total_time = max(
+        [inject] + [free for free in state.unit_free]
+    )
+    throughput = len(event_list) / total_time if total_time > 0 else 0.0
+    dedup = {match.key for match in matches}
+    return SimResult(
+        strategy=name,
+        num_units=reported_units if reported_units is not None else num_units,
+        events=len(event_list),
+        matches=len(dedup),
+        total_time=total_time,
+        throughput=throughput,
+        avg_latency=latency.mean,
+        p95_latency=latency.percentile(0.95),
+        max_latency=latency.max_value,
+        peak_memory_bytes=peak_memory,
+        total_comparisons=total_comparisons,
+        total_work=total_work,
+        duplication_factor=(
+            total_tasks / len(event_list) if event_list else 0.0
+        ),
+        unit_busy=list(state.unit_busy),
+        extra={"partitions": len(partitions)},
+    )
+
+
+def _shared_window_payload(position: int, event_list: Sequence[Event],
+                           window: float) -> int:
+    """Bytes of raw event payload within one window behind *position* —
+    counted once system-wide under the shared-heap accounting."""
+    now = event_list[position].timestamp
+    total = 0
+    index = position
+    while index >= 0:
+        event = event_list[index]
+        if event.timestamp < now - window:
+            break
+        total += event.payload_size
+        index -= 1
+    return total

@@ -1,0 +1,212 @@
+"""Uniform entry point for simulating any strategy on a workload.
+
+``simulate(strategy, pattern, events, num_cores)`` dispatches to the right
+simulator with a shared cost/cache model so results are directly
+comparable — the basis of every figure-reproduction benchmark.
+
+Strategies
+----------
+``sequential``
+    Single-unit baseline (denominator of Figure 7's relative gain).
+``hypersonic``
+    The full hybrid system.  Keyword arguments tune its features:
+    ``allocation`` ("cost"/"equal"), ``role_dynamic``, ``agent_dynamic``,
+    ``fusion`` / ``force_fusion_pairs``.
+``state``
+    State-parallel: one unit per agent regardless of available cores.
+``rip``
+    Run-based round-robin chunking (``chunk_size`` keyword).
+``rr`` / ``jsq`` / ``llsf``
+    Window-segment data parallelism with the respective assignment policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import SimulationError
+from repro.core.events import Event
+from repro.core.patterns import Pattern
+from repro.costmodel.model import CostParameters, WorkloadStatistics
+from repro.baselines.llsf import JSQEngine, LLSFEngine, RREngine
+from repro.baselines.rip import RIPEngine
+from repro.hypersonic.engine import HypersonicConfig
+from repro.simulator.cache import CacheModel
+from repro.simulator.hypersonic_sim import simulate_hypersonic
+from repro.simulator.metrics import SimResult
+from repro.simulator.partition_sim import SequentialSimEngine, simulate_partitioned
+
+__all__ = ["STRATEGIES", "simulate"]
+
+STRATEGIES = ("sequential", "hypersonic", "state", "rip", "rr", "jsq", "llsf")
+
+
+def simulate(
+    strategy: str,
+    pattern: Pattern,
+    events: Sequence[Event],
+    num_cores: int,
+    stats: WorkloadStatistics | None = None,
+    costs: CostParameters | None = None,
+    cache: CacheModel | None = None,
+    inflight_cap: int | None = None,
+    chunk_size: int = 256,
+    allocation: str = "cost",
+    role_dynamic: bool = True,
+    agent_dynamic: bool = False,
+    fusion: bool = False,
+    force_fusion_pairs: tuple[tuple[int, int], ...] = (),
+    seed: int = 7,
+    measure_latency: bool = False,
+    latency_load: float = 0.8,
+    pace: float | None = None,
+) -> SimResult:
+    """Simulate one strategy; see module docstring for the options.
+
+    With ``measure_latency=True`` a second, open-loop pass re-runs the
+    workload paced at ``latency_load`` of the capacity the first pass
+    measured; its latency figures replace the saturated ones (detection
+    latency is only meaningful below saturation — the paper's latency
+    experiments likewise run the system at sustainable rates).
+    """
+    if strategy not in STRATEGIES:
+        raise SimulationError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    event_list = list(events)
+    if inflight_cap is None:
+        # Scale channel capacity with the core count so every strategy can
+        # keep its units fed; the same cap applies to all strategies.
+        inflight_cap = max(64, 24 * num_cores)
+    if pace is not None:
+        # Explicit open-loop pacing: one paced pass (e.g. a common-arrival-
+        # rate latency comparison across strategies).
+        return _run_once(
+            strategy, pattern, event_list, num_cores,
+            stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
+            chunk_size=chunk_size, allocation=allocation,
+            role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
+            fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
+            pace=pace,
+        )
+    capacity = _run_once(
+        strategy, pattern, event_list, num_cores,
+        stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
+        chunk_size=chunk_size, allocation=allocation,
+        role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
+        fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
+        pace=None,
+    )
+    if not measure_latency or capacity.throughput <= 0:
+        return capacity
+    pace = 1.0 / (latency_load * capacity.throughput)
+    paced = _run_once(
+        strategy, pattern, event_list, num_cores,
+        stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
+        chunk_size=chunk_size, allocation=allocation,
+        role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
+        fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
+        pace=pace,
+    )
+    capacity.avg_latency = paced.avg_latency
+    capacity.p95_latency = paced.p95_latency
+    capacity.max_latency = paced.max_latency
+    capacity.extra["latency_pace"] = pace
+    return capacity
+
+
+def _run_once(
+    strategy: str,
+    pattern: Pattern,
+    events: Sequence[Event],
+    num_cores: int,
+    stats: WorkloadStatistics | None,
+    costs: CostParameters | None,
+    cache: CacheModel | None,
+    inflight_cap: int,
+    chunk_size: int,
+    allocation: str,
+    role_dynamic: bool,
+    agent_dynamic: bool,
+    fusion: bool,
+    force_fusion_pairs: tuple[tuple[int, int], ...],
+    seed: int,
+    pace: float | None,
+) -> SimResult:
+    event_list = list(events)
+    if strategy == "sequential":
+        return simulate_partitioned(
+            SequentialSimEngine(pattern),
+            event_list,
+            costs=costs,
+            cache=cache,
+            inflight_cap=inflight_cap,
+            strategy_name="sequential",
+            reported_units=1,
+            pace=pace,
+        )
+    if strategy in ("hypersonic", "state"):
+        if strategy == "state":
+            from repro.core.nfa import compile_pattern
+
+            num_agents = compile_pattern(pattern).num_stages - 1
+            config = HypersonicConfig(
+                role_dynamic=True,
+                agent_dynamic=False,
+                allocation="equal",
+                seed=seed,
+            )
+            # The state-based system only ever uses one unit per state, so
+            # its channel capacity is sized to those units — extra cores
+            # must not change its behaviour (Figure 7 shows it flat in the
+            # core count).
+            state_cap = max(64, 24 * num_agents)
+            return simulate_hypersonic(
+                pattern,
+                event_list,
+                num_units=num_agents,
+                config=config,
+                stats=stats,
+                costs=costs,
+                cache=cache,
+                inflight_cap=min(inflight_cap, state_cap),
+                strategy_name="state",
+                pace=pace,
+            )
+        config = HypersonicConfig(
+            role_dynamic=role_dynamic,
+            agent_dynamic=agent_dynamic,
+            allocation=allocation,
+            fusion=fusion,
+            force_fusion_pairs=force_fusion_pairs,
+            seed=seed,
+        )
+        return simulate_hypersonic(
+            pattern,
+            event_list,
+            num_units=num_cores,
+            config=config,
+            stats=stats,
+            costs=costs,
+            cache=cache,
+            inflight_cap=inflight_cap,
+            strategy_name="hypersonic",
+            pace=pace,
+        )
+    if strategy == "rip":
+        engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)
+    elif strategy == "rr":
+        engine = RREngine(pattern, num_cores)
+    elif strategy == "jsq":
+        engine = JSQEngine(pattern, num_cores)
+    else:
+        engine = LLSFEngine(pattern, num_cores)
+    return simulate_partitioned(
+        engine,
+        event_list,
+        costs=costs,
+        cache=cache,
+        inflight_cap=inflight_cap,
+        strategy_name=strategy,
+        pace=pace,
+    )

@@ -1,0 +1,21 @@
+"""Query workloads: the paper's Table 2 templates."""
+
+from repro.workloads.queries import (
+    QuerySpec,
+    sensor_kleene_query,
+    sensor_negation_query,
+    sensor_sequence_query,
+    stock_kleene_query,
+    stock_negation_query,
+    stock_sequence_query,
+)
+
+__all__ = [
+    "QuerySpec",
+    "sensor_kleene_query",
+    "sensor_negation_query",
+    "sensor_sequence_query",
+    "stock_kleene_query",
+    "stock_negation_query",
+    "stock_sequence_query",
+]

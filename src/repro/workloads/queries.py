@@ -1,0 +1,273 @@
+"""Query templates of the paper's Table 2.
+
+Six template families, three per dataset:
+
+=======  =======================================================
+Q_A1(n)  SEQ(S1..Sn), Corr(S_{i-1}.history, S_i.history) > T
+Q_A2     SEQ(S1..KLEENE(S_j)..S6), same correlation conditions
+Q_A3(n)  SEQ(S1..NEG(S_j)..Sn), same conditions (skipping S_j)
+Q_B1(n)  SEQ(S1..Sn), S_i.distance > S_{i-1}.distance
+Q_B2     SEQ(S1..KLEENE(S_j)..S6), same distance conditions
+Q_B3(n)  SEQ(S1..NEG(S_j)..Sn), same conditions (skipping S_j)
+=======  =======================================================
+
+Each builder takes the event types to bind, the window, and a *planted
+selectivity*: the correlation threshold / distance margin is calibrated on
+the supplied sample so the condition passes roughly that fraction of
+in-window pairs.  That reproduces the role of the paper's per-query
+thresholds — the experiments need known operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.conditions import (
+    AndCondition,
+    Condition,
+    CorrelationCondition,
+    PairwiseCondition,
+)
+from repro.core.errors import PatternError
+from repro.core.events import Event
+from repro.core.patterns import Pattern
+from repro.datasets.sensors import calibrate_distance_margin
+from repro.datasets.stocks import calibrate_correlation_threshold
+
+__all__ = [
+    "QuerySpec",
+    "stock_sequence_query",
+    "stock_kleene_query",
+    "stock_negation_query",
+    "sensor_sequence_query",
+    "sensor_kleene_query",
+    "sensor_negation_query",
+]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A built query plus the calibration record for reporting."""
+
+    pattern: Pattern
+    thresholds: tuple[float, ...]
+    template: str
+
+
+def _adjacent_positive_pairs(
+    num_positions: int, negated: Sequence[int]
+) -> list[tuple[int, int]]:
+    """Adjacent (i-1, i) pairs among non-negated positions, 0-based."""
+    negated_set = set(negated)
+    positives = [i for i in range(num_positions) if i not in negated_set]
+    return list(zip(positives, positives[1:]))
+
+
+def _position_name(index: int) -> str:
+    return f"p{index + 1}"
+
+
+# --------------------------------------------------------------------- #
+# Stocks (Q_A*)                                                          #
+# --------------------------------------------------------------------- #
+
+
+def _stock_conditions(
+    types: Sequence[str],
+    sample: Sequence[Event],
+    window: float,
+    selectivity: float,
+    negated: Sequence[int] = (),
+) -> tuple[Condition, tuple[float, ...]]:
+    conditions = []
+    thresholds = []
+    for left, right in _adjacent_positive_pairs(len(types), negated):
+        threshold = calibrate_correlation_threshold(
+            sample, (types[left], types[right]), window, selectivity
+        )
+        thresholds.append(threshold)
+        conditions.append(
+            CorrelationCondition(
+                left=_position_name(left),
+                right=_position_name(right),
+                threshold=threshold,
+            )
+        )
+    return AndCondition(tuple(conditions)), tuple(thresholds)
+
+
+def stock_sequence_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    selectivity: float = 0.05,
+    name: str = "Q_A1",
+) -> QuerySpec:
+    """Q_A1: plain sequence over stock tickers with correlation conditions."""
+    if not 3 <= len(types) <= 7:
+        raise PatternError("Q_A1 uses 3 to 7 event types (paper Table 2)")
+    condition, thresholds = _stock_conditions(types, sample, window, selectivity)
+    pattern = Pattern.sequence(
+        list(types), window=window, condition=condition, name=name
+    )
+    return QuerySpec(pattern=pattern, thresholds=thresholds, template="Q_A1")
+
+
+def stock_kleene_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    kleene_position: int = 2,
+    selectivity: float = 0.05,
+    name: str = "Q_A2",
+) -> QuerySpec:
+    """Q_A2: length-6 stock sequence with one Kleene-closure position."""
+    if len(types) != 6:
+        raise PatternError("Q_A2 uses exactly 6 event types (paper Table 2)")
+    if kleene_position <= 0:
+        raise PatternError(
+            "Kleene closure on the first position is outside the agent-chain "
+            "model (the first agent covers the first two NFA states)"
+        )
+    condition, thresholds = _stock_conditions(types, sample, window, selectivity)
+    pattern = Pattern.sequence(
+        list(types),
+        window=window,
+        condition=condition,
+        kleene=[kleene_position],
+        name=name,
+    )
+    return QuerySpec(pattern=pattern, thresholds=thresholds, template="Q_A2")
+
+
+def stock_negation_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    negated_position: int = 2,
+    selectivity: float = 0.05,
+    name: str = "Q_A3",
+) -> QuerySpec:
+    """Q_A3: stock sequence with one negated position; conditions skip it."""
+    if not 3 <= len(types) <= 7:
+        raise PatternError("Q_A3 uses 3 to 7 event types (paper Table 2)")
+    condition, thresholds = _stock_conditions(
+        types, sample, window, selectivity, negated=[negated_position]
+    )
+    pattern = Pattern.sequence(
+        list(types),
+        window=window,
+        condition=condition,
+        negated=[negated_position],
+        name=name,
+    )
+    return QuerySpec(pattern=pattern, thresholds=thresholds, template="Q_A3")
+
+
+# --------------------------------------------------------------------- #
+# Sensors (Q_B*)                                                         #
+# --------------------------------------------------------------------- #
+
+
+def _sensor_conditions(
+    types: Sequence[str],
+    sample: Sequence[Event],
+    window: float,
+    selectivity: float,
+    zone: str,
+    negated: Sequence[int] = (),
+) -> tuple[Condition, tuple[float, ...]]:
+    attribute = f"distance_{zone}"
+    conditions = []
+    margins = []
+    for left, right in _adjacent_positive_pairs(len(types), negated):
+        margin = calibrate_distance_margin(
+            sample, types[left], types[right], zone, window, selectivity
+        )
+        margins.append(margin)
+
+        def predicate(a: Event, b: Event, _margin: float = margin) -> bool:
+            return b[attribute] > a[attribute] + _margin
+
+        conditions.append(
+            PairwiseCondition(
+                left=_position_name(left),
+                right=_position_name(right),
+                predicate=predicate,
+                name=f"{attribute}+{margin:.2f}",
+            )
+        )
+    return AndCondition(tuple(conditions)), tuple(margins)
+
+
+def sensor_sequence_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    selectivity: float = 0.1,
+    zone: str = "kitchen",
+    name: str = "Q_B1",
+) -> QuerySpec:
+    """Q_B1: activity sequence with increasing zone distances."""
+    if not 3 <= len(types) <= 7:
+        raise PatternError("Q_B1 uses 3 to 7 event types (paper Table 2)")
+    condition, margins = _sensor_conditions(
+        types, sample, window, selectivity, zone
+    )
+    pattern = Pattern.sequence(
+        list(types), window=window, condition=condition, name=name
+    )
+    return QuerySpec(pattern=pattern, thresholds=margins, template="Q_B1")
+
+
+def sensor_kleene_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    kleene_position: int = 2,
+    selectivity: float = 0.1,
+    zone: str = "kitchen",
+    name: str = "Q_B2",
+) -> QuerySpec:
+    """Q_B2: length-6 activity sequence with one Kleene position."""
+    if len(types) != 6:
+        raise PatternError("Q_B2 uses exactly 6 event types (paper Table 2)")
+    if kleene_position <= 0:
+        raise PatternError("Kleene closure cannot sit on the first position")
+    condition, margins = _sensor_conditions(
+        types, sample, window, selectivity, zone
+    )
+    pattern = Pattern.sequence(
+        list(types),
+        window=window,
+        condition=condition,
+        kleene=[kleene_position],
+        name=name,
+    )
+    return QuerySpec(pattern=pattern, thresholds=margins, template="Q_B2")
+
+
+def sensor_negation_query(
+    types: Sequence[str],
+    window: float,
+    sample: Sequence[Event],
+    negated_position: int = 2,
+    selectivity: float = 0.1,
+    zone: str = "kitchen",
+    name: str = "Q_B3",
+) -> QuerySpec:
+    """Q_B3: activity sequence with one negated position."""
+    if not 3 <= len(types) <= 7:
+        raise PatternError("Q_B3 uses 3 to 7 event types (paper Table 2)")
+    condition, margins = _sensor_conditions(
+        types, sample, window, selectivity, zone, negated=[negated_position]
+    )
+    pattern = Pattern.sequence(
+        list(types),
+        window=window,
+        condition=condition,
+        negated=[negated_position],
+        name=name,
+    )
+    return QuerySpec(pattern=pattern, thresholds=margins, template="Q_B3")

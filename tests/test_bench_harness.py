@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness and report formatting."""
+
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    build_query,
+    compare_strategies,
+    default_cache,
+    format_series_table,
+    relative_gains,
+    sensor_events,
+    shifted_stock_events,
+    skewed_stock_events,
+    stock_events,
+)
+
+SMALL = BenchScale(num_events=800, seed=5)
+
+
+class TestDatasetsBuilders:
+    def test_stock_events_cached_and_copied(self):
+        first = stock_events(SMALL)
+        second = stock_events(SMALL)
+        assert len(first) == 800
+        assert first is not second  # fresh list per call
+        assert first[0].event_id == second[0].event_id  # same cached events
+
+    def test_sensor_events(self):
+        events = sensor_events(SMALL)
+        assert len(events) == 800
+        assert "distance_kitchen" in events[0].attributes
+
+    def test_shifted_events_in_order_with_rate_shift(self):
+        events = shifted_stock_events(SMALL)
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+        half = len(events) // 2
+        early = [e.type.name for e in events[: half // 2]]
+        late = [e.type.name for e in events[-half // 2:]]
+        # The late mix is skewed toward high-index symbols.
+        late_high = sum(1 for n in late if int(n[1:]) >= 4) / len(late)
+        early_high = sum(1 for n in early if int(n[1:]) >= 4) / len(early)
+        assert late_high > early_high + 0.2
+
+    def test_skewed_rates(self):
+        events = skewed_stock_events(SMALL)
+        counts = {}
+        for event in events:
+            counts[event.type.name] = counts.get(event.type.name, 0) + 1
+        assert counts["S0"] > 3 * counts["S1"]
+
+
+class TestBuildQuery:
+    def test_stock_templates(self):
+        events = stock_events(SMALL)
+        for template, length in [("seq", 3), ("kleene", 6), ("negation", 4)]:
+            spec = build_query("stocks", template, length, 20.0, events, SMALL)
+            assert spec.pattern.window == 20.0
+
+    def test_sensor_templates(self):
+        events = sensor_events(SMALL)
+        spec = build_query("sensors", "seq", 3, 20.0, events, SMALL)
+        assert spec.pattern.length == 3
+
+    def test_unknown_inputs(self):
+        events = stock_events(SMALL)
+        with pytest.raises(ValueError):
+            build_query("weather", "seq", 3, 20.0, events, SMALL)
+        with pytest.raises(ValueError):
+            build_query("stocks", "zigzag", 3, 20.0, events, SMALL)
+
+
+class TestCompareStrategies:
+    def test_all_strategies_agree_and_gains_computed(self):
+        events = stock_events(SMALL)
+        spec = build_query("stocks", "seq", 3, 20.0, events, SMALL)
+        results = compare_strategies(
+            spec.pattern, events, cores=4,
+            strategies=("sequential", "hypersonic", "llsf"),
+            scale=SMALL,
+        )
+        match_counts = {r.matches for r in results.values()}
+        assert len(match_counts) == 1
+        gains = relative_gains(results)
+        assert set(gains) == {"hypersonic", "llsf"}
+        assert all(g > 0 for g in gains.values())
+
+
+class TestFormatting:
+    def test_series_table_layout(self):
+        text = format_series_table(
+            "My figure", "window", [1, 2, 4],
+            {"hypersonic": [1.0, 2.0, 3.0], "llsf": [0.5, 0.25, 12345.0]},
+            unit="x",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("My figure")
+        assert "window" in lines[2]
+        assert any("hypersonic" in line for line in lines)
+        assert "1.23e+04" in text  # large values in scientific notation
+
+    def test_series_table_validates_lengths(self):
+        with pytest.raises(ValueError):
+            format_series_table("t", "x", [1, 2], {"s": [1.0]})
+
+    def test_default_cache_in_memory_bound_regime(self):
+        cache = default_cache()
+        # The regime the benches target: a few hundred buffered items cost
+        # several times the in-cache rate.
+        assert cache.comparison_penalty(256, 256 * 256) > 3.0

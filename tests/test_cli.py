@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def stock_csv(tmp_path):
+    path = tmp_path / "stocks.csv"
+    code = main([
+        "generate", "stocks", str(path),
+        "--events", "600", "--types", "4", "--seed", "3",
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "stocks", "out.csv"])
+        assert args.events == 5000
+        assert args.seed == 42
+
+
+class TestGenerate:
+    def test_writes_csv(self, stock_csv):
+        text = stock_csv.read_text()
+        assert text.startswith("type,timestamp,payload_size")
+        assert text.count("\n") == 601  # header + 600 rows
+
+    def test_sensors(self, tmp_path):
+        path = tmp_path / "sensors.csv"
+        assert main(["generate", "sensors", str(path), "--events", "100"]) == 0
+        assert path.exists()
+
+
+class TestDetect:
+    @pytest.mark.parametrize("engine", ["sequential", "hybrid", "threads"])
+    def test_engines_run(self, stock_csv, capsys, engine):
+        code = main([
+            "detect", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--engine", engine,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "SEQ" in out
+
+    def test_engines_agree(self, stock_csv, capsys):
+        counts = []
+        for engine in ("sequential", "hybrid"):
+            main([
+                "detect", "stocks", str(stock_csv),
+                "--length", "3", "--window", "20",
+                "--selectivity", "0.4", "--engine", engine,
+            ])
+            out = capsys.readouterr().out
+            counts.append(
+                int(next(l for l in out.splitlines() if "matches" in l)
+                    .split()[0])
+            )
+        assert counts[0] == counts[1]
+
+    def test_too_few_types(self, stock_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "detect", "stocks", str(stock_csv),
+                "--length", "7", "--window", "20",
+            ])
+
+
+class TestSimulate:
+    def test_comparison_table(self, stock_csv, capsys):
+        code = main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "4",
+            "--strategies", "sequential,hypersonic",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hypersonic" in out
+        assert "sequential" in out
+        assert "gain" in out

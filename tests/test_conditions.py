@@ -1,0 +1,168 @@
+"""Tests for the condition algebra."""
+
+import pytest
+
+from repro.core import (
+    AndCondition,
+    AttributeCondition,
+    ConditionError,
+    CorrelationCondition,
+    Event,
+    EventType,
+    NotCondition,
+    OrCondition,
+    PairwiseCondition,
+    TrueCondition,
+    UnaryCondition,
+    pearson_correlation,
+)
+
+A = EventType("A")
+B = EventType("B")
+
+
+def ev(t, **attrs):
+    return Event(A, t, attrs)
+
+
+class TestTrueCondition:
+    def test_accepts_everything(self):
+        cond = TrueCondition()
+        assert cond.evaluate({})
+        assert cond.depends_on() == frozenset()
+
+
+class TestUnaryCondition:
+    def test_predicate_applied(self):
+        cond = UnaryCondition("p1", lambda e: e["x"] > 3)
+        assert cond.evaluate({"p1": ev(0, x=4)})
+        assert not cond.evaluate({"p1": ev(0, x=2)})
+
+    def test_depends_on_single_position(self):
+        cond = UnaryCondition("p1", lambda e: True)
+        assert cond.depends_on() == frozenset({"p1"})
+
+    def test_kleene_tuple_uses_last_event(self):
+        cond = UnaryCondition("p1", lambda e: e["x"] == 9)
+        binding = {"p1": (ev(0, x=1), ev(1, x=9))}
+        assert cond.evaluate(binding)
+
+    def test_empty_kleene_tuple_raises(self):
+        cond = UnaryCondition("p1", lambda e: True)
+        with pytest.raises(ConditionError):
+            cond.evaluate({"p1": ()})
+
+
+class TestAttributeCondition:
+    def test_operators(self):
+        left = ev(0, v=1)
+        right = ev(1, v=2)
+        binding = {"a": left, "b": right}
+        cases = {
+            "<": True, "<=": True, ">": False, ">=": False,
+            "==": False, "!=": True,
+        }
+        for op, expected in cases.items():
+            cond = AttributeCondition("a", "v", op, "b", "v")
+            assert cond.evaluate(binding) is expected, op
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            AttributeCondition("a", "v", "~", "b", "v")
+
+    def test_missing_attribute_raises_condition_error(self):
+        cond = AttributeCondition("a", "nope", "<", "b", "v")
+        with pytest.raises(ConditionError):
+            cond.evaluate({"a": ev(0), "b": ev(1, v=1)})
+
+    def test_depends_on_both_positions(self):
+        cond = AttributeCondition("a", "v", "<", "b", "v")
+        assert cond.depends_on() == frozenset({"a", "b"})
+
+
+class TestPairwiseCondition:
+    def test_predicate_receives_events(self):
+        cond = PairwiseCondition(
+            "a", "b", lambda x, y: x["v"] + y["v"] == 3
+        )
+        assert cond.evaluate({"a": ev(0, v=1), "b": ev(1, v=2)})
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_sequence_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_short_sequence_is_zero(self):
+        assert pearson_correlation([1], [2]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConditionError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_bounded(self):
+        value = pearson_correlation([1, 5, 2, 8, 3], [2, 1, 9, 4, 7])
+        assert -1.0 <= value <= 1.0
+
+
+class TestCorrelationCondition:
+    def test_threshold(self):
+        high = ev(0, history=(1.0, 2.0, 3.0))
+        also_high = ev(1, history=(2.0, 4.0, 6.0))
+        low = ev(2, history=(3.0, 1.0, 2.0))
+        cond = CorrelationCondition("a", "b", threshold=0.9)
+        assert cond.evaluate({"a": high, "b": also_high})
+        assert not cond.evaluate({"a": high, "b": low})
+
+
+class TestCombinators:
+    def test_and_short_circuits(self):
+        calls = []
+
+        def tracking(result):
+            def predicate(e):
+                calls.append(result)
+                return result
+            return UnaryCondition("p", predicate)
+
+        cond = AndCondition((tracking(False), tracking(True)))
+        assert not cond.evaluate({"p": ev(0)})
+        assert calls == [False]
+
+    def test_or(self):
+        cond = OrCondition(
+            (
+                UnaryCondition("p", lambda e: False),
+                UnaryCondition("p", lambda e: True),
+            )
+        )
+        assert cond.evaluate({"p": ev(0)})
+
+    def test_not(self):
+        cond = NotCondition(TrueCondition())
+        assert not cond.evaluate({})
+
+    def test_operator_overloads(self):
+        true = TrueCondition()
+        assert isinstance(true & true, AndCondition)
+        assert isinstance(true | true, OrCondition)
+        assert isinstance(~true, NotCondition)
+
+    def test_and_flattened(self):
+        inner = AndCondition((TrueCondition(), TrueCondition()))
+        outer = AndCondition((inner, TrueCondition()))
+        assert len(outer.flattened()) == 3
+
+    def test_combined_depends_on(self):
+        cond = AndCondition(
+            (
+                UnaryCondition("a", lambda e: True),
+                UnaryCondition("b", lambda e: True),
+            )
+        )
+        assert cond.depends_on() == frozenset({"a", "b"})

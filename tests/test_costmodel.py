@@ -1,0 +1,218 @@
+"""Tests for the cost model (Theorems 1–5) and allocation."""
+
+import pytest
+
+from repro.core import Pattern, compile_pattern
+from repro.core.errors import AllocationError
+from repro.costmodel import (
+    CostParameters,
+    LoadModel,
+    WorkloadStatistics,
+    average_match_sizes,
+    kleene_match_rate,
+    match_arrival_rates,
+    output_rates,
+    proportional_allocation,
+)
+
+
+def stats3(rates=(1.0, 1.0, 1.0), sels=(1.0, 0.1, 0.1)):
+    return WorkloadStatistics(rates=rates, selectivities=sels)
+
+
+class TestWorkloadStatistics:
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            WorkloadStatistics(rates=(1.0,), selectivities=(0.5, 0.5))
+        with pytest.raises(AllocationError):
+            WorkloadStatistics(rates=(-1.0,), selectivities=(0.5,))
+        with pytest.raises(AllocationError):
+            WorkloadStatistics(rates=(1.0,), selectivities=(1.5,))
+
+    def test_sizes_default(self):
+        stats = stats3()
+        assert stats.sizes_or_default() == (64.0, 64.0, 64.0)
+
+    def test_num_stages(self):
+        assert stats3().num_stages == 3
+
+
+class TestTheorem2MatchRates:
+    def test_first_agent_receives_e1(self):
+        rates = match_arrival_rates(stats3(rates=(2.5, 1.0, 1.0)), window=10.0)
+        assert rates[0] == 2.5
+
+    def test_recursion_doubles_with_both_directions(self):
+        # m_3 = 2 * m_2 * e_2 * s_2 * W
+        stats = stats3(rates=(2.0, 3.0, 1.0), sels=(1.0, 0.25, 0.1))
+        rates = match_arrival_rates(stats, window=4.0)
+        assert rates[1] == pytest.approx(2 * 2.0 * 3.0 * 0.25 * 4.0)
+
+    def test_single_stage_has_no_agents(self):
+        stats = WorkloadStatistics(rates=(1.0,), selectivities=(1.0,))
+        assert match_arrival_rates(stats, window=1.0) == []
+
+    def test_rates_scale_with_window(self):
+        small = match_arrival_rates(stats3(), window=1.0)
+        large = match_arrival_rates(stats3(), window=10.0)
+        assert large[1] == pytest.approx(10 * small[1])
+
+
+class TestTheorem4Kleene:
+    def test_reduces_to_identity_without_events(self):
+        assert kleene_match_rate(5.0, rate=0.0, selectivity=0.5, window=10) == 5.0
+
+    def test_geometric_series(self):
+        # base = e*s*W = 0.5; truncated at e*W = 4 terms:
+        # m = m_prev * (1 + 0.5 + 0.25 + 0.125 + 0.0625)
+        value = kleene_match_rate(1.0, rate=0.4, selectivity=0.125, window=10.0)
+        assert value == pytest.approx(1.0 + 0.5 + 0.25 + 0.125 + 0.0625)
+
+    def test_base_one_sums_linearly(self):
+        value = kleene_match_rate(1.0, rate=0.4, selectivity=0.25, window=10.0)
+        assert value == pytest.approx(1.0 + 4.0)
+
+    def test_divergent_base_is_capped(self):
+        value = kleene_match_rate(1.0, rate=10.0, selectivity=1.0, window=100.0)
+        assert value < float("inf")
+
+    def test_monotone_in_selectivity(self):
+        low = kleene_match_rate(1.0, 1.0, 0.1, 5.0)
+        high = kleene_match_rate(1.0, 1.0, 0.3, 5.0)
+        assert high > low
+
+
+class TestTheorem5MatchSizes:
+    def test_non_kleene_increments_by_one(self):
+        sizes = average_match_sizes(
+            stats3(rates=(1, 1, 1), sels=(1, 0.5, 0.5)), window=2.0
+        )
+        assert sizes == [1.0, 2.0]
+
+    def test_kleene_adds_expected_tuple_length(self):
+        sizes = average_match_sizes(
+            stats3(rates=(1, 1, 1), sels=(1, 0.5, 0.5)),
+            window=2.0,
+            kleene_stages=frozenset({1}),
+        )
+        assert sizes[0] == 1.0
+        # The entry after the Kleene stage is strictly larger than +1.
+        plain = average_match_sizes(
+            stats3(rates=(1, 1, 1), sels=(1, 0.5, 0.5)), window=2.0
+        )
+        assert sizes[1] > plain[1]
+
+
+class TestTheorem1Allocation:
+    def test_proportional_to_loads(self):
+        allocation = proportional_allocation([1.0, 3.0], total_units=8)
+        assert allocation == [2, 6]
+
+    def test_sums_to_total(self):
+        allocation = proportional_allocation([1.0, 2.0, 3.0, 5.0], 17)
+        assert sum(allocation) == 17
+
+    def test_minimum_one_unit_each(self):
+        allocation = proportional_allocation([0.001, 100.0], 10)
+        assert allocation[0] >= 1
+
+    def test_insufficient_units_rejected(self):
+        with pytest.raises(AllocationError):
+            proportional_allocation([1.0, 1.0, 1.0], 2)
+
+    def test_zero_load_spreads_evenly(self):
+        assert proportional_allocation([0.0, 0.0], 4) == [2, 2]
+        assert proportional_allocation([0.0, 0.0, 0.0], 4) == [2, 1, 1]
+
+    def test_empty(self):
+        assert proportional_allocation([], 4) == []
+
+
+class TestLoadModel:
+    def test_for_nfa_dimension_check(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        with pytest.raises(AllocationError):
+            LoadModel.for_nfa(
+                nfa, WorkloadStatistics(rates=(1.0,), selectivities=(1.0,))
+            )
+
+    def test_agent_loads_positive(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        model = LoadModel.for_nfa(nfa, stats3())
+        loads = model.agent_loads(total_units=8)
+        assert len(loads) == 2
+        assert all(load.total > 0 for load in loads)
+        assert all(load.comp >= 0 and load.sync >= 0 for load in loads)
+
+    def test_measured_match_rates_override_recursion(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        measured = WorkloadStatistics(
+            rates=(1.0, 1.0, 1.0),
+            selectivities=(1.0, 0.1, 0.1),
+            match_rates=(5.0, 7.0, 1.0),
+        )
+        model = LoadModel.for_nfa(nfa, measured)
+        loads = model.agent_loads(8)
+        assert loads[0].match_rate == 5.0
+        assert loads[1].match_rate == 7.0
+
+    def test_stage_work_override(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        measured = WorkloadStatistics(
+            rates=(1.0, 1.0, 1.0),
+            selectivities=(1.0, 0.1, 0.1),
+            stage_work=(0.0, 10.0, 90.0),
+        )
+        model = LoadModel.for_nfa(nfa, measured)
+        loads = model.agent_loads(10)
+        assert loads[1].comp == pytest.approx(9 * loads[0].comp)
+
+    def test_allocation_follows_load(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        measured = WorkloadStatistics(
+            rates=(1.0, 1.0, 1.0),
+            selectivities=(1.0, 0.1, 0.1),
+            stage_work=(0.0, 10.0, 30.0),
+        )
+        model = LoadModel.for_nfa(nfa, measured)
+        allocation = model.allocation(8)
+        assert sum(allocation) == 8
+        assert allocation[1] > allocation[0]
+
+    def test_sync_includes_queue_cost(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        cheap = LoadModel.for_nfa(
+            nfa, stats3(), CostParameters(queue_push=0.0)
+        )
+        dear = LoadModel.for_nfa(
+            nfa, stats3(), CostParameters(queue_push=10.0)
+        )
+        assert (
+            dear.agent_loads(4)[0].sync > cheap.agent_loads(4)[0].sync
+        )
+
+    def test_total_computations(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=2.0))
+        model = LoadModel.for_nfa(nfa, stats3())
+        assert model.total_computations() == pytest.approx(
+            sum(load.comp for load in model.agent_loads(1))
+        )
+
+
+class TestOutputRates:
+    def test_last_output_is_full_match_rate(self):
+        stats = stats3(rates=(1.0, 1.0, 1.0), sels=(1.0, 0.5, 0.25))
+        outputs = output_rates(stats, window=2.0)
+        arrival = match_arrival_rates(stats, window=2.0)
+        # output of agent 0 equals arrival into agent 1
+        assert outputs[0] == pytest.approx(arrival[1])
+
+
+class TestCostParameters:
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            CostParameters(comparison=-1.0)
+
+    def test_defaults_ordered(self):
+        costs = CostParameters()
+        assert costs.comparison > costs.lock > costs.queue_push

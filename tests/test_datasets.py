@@ -1,0 +1,203 @@
+"""Tests for the synthetic dataset generators and CSV persistence."""
+
+import random
+
+import pytest
+
+from repro.core import pearson_correlation
+from repro.core.events import validate_stream_order
+from repro.datasets import (
+    HISTORY_LENGTH,
+    SensorConfig,
+    StockConfig,
+    ZONES,
+    calibrate_correlation_threshold,
+    calibrate_distance_margin,
+    generate_sensor_stream,
+    generate_stock_stream,
+    load_stream,
+    save_stream,
+)
+from repro.datasets.base import ArrivalProcess, interleave_arrivals
+
+
+class TestInterleaveArrivals:
+    def test_ordered_and_exact_count(self):
+        rng = random.Random(0)
+        processes = [ArrivalProcess("A", 1.0), ArrivalProcess("B", 2.0)]
+        pairs = list(interleave_arrivals(processes, 200, rng))
+        assert len(pairs) == 200
+        timestamps = [t for _name, t in pairs]
+        assert timestamps == sorted(timestamps)
+
+    def test_rates_respected(self):
+        rng = random.Random(1)
+        processes = [ArrivalProcess("A", 1.0), ArrivalProcess("B", 4.0)]
+        pairs = list(interleave_arrivals(processes, 2000, rng))
+        count_b = sum(1 for name, _t in pairs if name == "B")
+        assert count_b / 2000 == pytest.approx(0.8, abs=0.05)
+
+    def test_zero_rate_excluded(self):
+        rng = random.Random(2)
+        processes = [ArrivalProcess("A", 1.0), ArrivalProcess("B", 0.0)]
+        pairs = list(interleave_arrivals(processes, 100, rng))
+        assert all(name == "A" for name, _t in pairs)
+
+
+class TestStockStream:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return generate_stock_stream(
+            StockConfig(num_events=2000, symbols=("S0", "S1", "S2"), seed=7)
+        )
+
+    def test_count_and_order(self, events):
+        assert len(events) == 2000
+        assert list(validate_stream_order(events)) == events
+
+    def test_schema(self, events):
+        event = events[100]
+        assert set(event.attributes) == {"symbol", "price", "history"}
+        assert len(event["history"]) == HISTORY_LENGTH
+        assert event["price"] > 0
+        assert event.payload_size > 100  # history-bearing payload
+
+    def test_history_tracks_prices(self, events):
+        by_symbol = [e for e in events if e.type.name == "S0"]
+        later = by_symbol[50]
+        assert later["history"][-1] == pytest.approx(later["price"])
+
+    def test_deterministic_given_seed(self):
+        config = StockConfig(num_events=100, symbols=("S0",), seed=3)
+        first = generate_stock_stream(config)
+        second = generate_stock_stream(config)
+        assert [e.timestamp for e in first] == [e.timestamp for e in second]
+        assert [e["price"] for e in first] == [e["price"] for e in second]
+
+    def test_coupling_raises_correlations(self):
+        loose = generate_stock_stream(
+            StockConfig(num_events=3000, symbols=("S0", "S1"), coupling=0.02,
+                        seed=5)
+        )
+        tight = generate_stock_stream(
+            StockConfig(num_events=3000, symbols=("S0", "S1"), coupling=0.9,
+                        seed=5)
+        )
+
+        def mean_abs_corr(events):
+            s0 = [e for e in events if e.type.name == "S0"][100:200]
+            s1 = [e for e in events if e.type.name == "S1"][100:200]
+            values = [
+                pearson_correlation(a["history"], b["history"])
+                for a, b in zip(s0, s1)
+            ]
+            return sum(values) / len(values)
+
+        assert mean_abs_corr(tight) > mean_abs_corr(loose)
+
+    def test_calibration_hits_target(self, events):
+        threshold = calibrate_correlation_threshold(
+            events, ("S0", "S1"), window=20.0, target_selectivity=0.2
+        )
+        passing = total = 0
+        recent = []
+        for event in events:
+            if event.type.name == "S0":
+                recent.append(event)
+            elif event.type.name == "S1":
+                recent = [
+                    e for e in recent if e.timestamp >= event.timestamp - 20.0
+                ]
+                for candidate in recent:
+                    total += 1
+                    if (
+                        pearson_correlation(
+                            candidate["history"], event["history"]
+                        )
+                        > threshold
+                    ):
+                        passing += 1
+        assert passing / total == pytest.approx(0.2, abs=0.07)
+
+    def test_calibration_rejects_bad_target(self, events):
+        with pytest.raises(ValueError):
+            calibrate_correlation_threshold(events, ("S0", "S1"), 20.0, 1.5)
+
+
+class TestSensorStream:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return generate_sensor_stream(SensorConfig(num_events=2000, seed=9))
+
+    def test_count_and_order(self, events):
+        assert len(events) == 2000
+        assert list(validate_stream_order(events)) == events
+
+    def test_schema_has_33_attributes(self, events):
+        event = events[42]
+        assert len(event.attributes) == 33 + 1  # + activity label
+        for zone in ZONES:
+            assert f"distance_{zone}" in event.attributes
+        assert "accel_z" in event.attributes
+
+    def test_distances_bounded_by_home(self, events):
+        config = SensorConfig()
+        bound = 3.0 * config.home_size
+        for event in events[:200]:
+            for zone in ZONES:
+                assert 0 <= event[f"distance_{zone}"] <= bound
+
+    def test_zone_bias_separates_activities(self):
+        biased = generate_sensor_stream(
+            SensorConfig(num_events=3000, zone_bias=0.9, seed=11)
+        )
+        cooking = [e for e in biased if e.type.name == "cooking"]
+        sleeping = [e for e in biased if e.type.name == "sleeping"]
+        cook_dist = sum(e["distance_kitchen"] for e in cooking) / len(cooking)
+        sleep_dist = sum(e["distance_kitchen"] for e in sleeping) / len(sleeping)
+        assert cook_dist < sleep_dist
+
+    def test_margin_calibration(self, events):
+        margin = calibrate_distance_margin(
+            events, "cooking", "sleeping", "kitchen",
+            window=20.0, target_selectivity=0.3,
+        )
+        assert isinstance(margin, float)
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path):
+        events = generate_stock_stream(
+            StockConfig(num_events=50, symbols=("S0", "S1"), seed=13)
+        )
+        path = tmp_path / "stream.csv"
+        save_stream(events, path)
+        loaded = load_stream(path)
+        assert len(loaded) == 50
+        assert [e.type.name for e in loaded] == [e.type.name for e in events]
+        assert loaded[0].timestamp == pytest.approx(events[0].timestamp)
+        assert loaded[0]["history"] == pytest.approx(events[0]["history"])
+        assert loaded[0].payload_size == events[0].payload_size
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_stream([], path)
+        assert load_stream(path) == []
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,stream\n1,2,3\n")
+        from repro.core import StreamError
+
+        with pytest.raises(StreamError):
+            load_stream(path)
+
+    def test_out_of_order_rejected(self, tmp_path):
+        path = tmp_path / "ooo.csv"
+        path.write_text(
+            "type,timestamp,payload_size,x\nA,2.0,64,1\nA,1.0,64,2\n"
+        )
+        from repro.core import StreamError
+
+        with pytest.raises(StreamError):
+            load_stream(path)

@@ -1,0 +1,111 @@
+"""Tests for the event and event-type model."""
+
+import pytest
+
+from repro.core import Event, EventType, StreamError, stream_from_records
+from repro.core.events import validate_stream_order
+
+
+class TestEventType:
+    def test_equality_is_by_name(self):
+        assert EventType("A") == EventType("A")
+        assert EventType("A") != EventType("B")
+
+    def test_attributes_do_not_affect_identity(self):
+        declared = EventType("A", ("x", "y"))
+        ad_hoc = EventType("A")
+        assert declared == ad_hoc
+        assert hash(declared) == hash(ad_hoc)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            EventType("")
+
+    def test_str(self):
+        assert str(EventType("Price")) == "Price"
+
+
+class TestEvent:
+    def test_attribute_access(self):
+        event = Event(EventType("A"), 1.0, {"x": 5})
+        assert event["x"] == 5
+        assert event.get("x") == 5
+        assert event.get("missing") is None
+        assert event.get("missing", 7) == 7
+
+    def test_missing_attribute_raises(self):
+        event = Event(EventType("A"), 1.0, {})
+        with pytest.raises(KeyError):
+            event["x"]
+
+    def test_event_ids_unique_and_increasing(self):
+        first = Event(EventType("A"), 1.0)
+        second = Event(EventType("A"), 1.0)
+        assert first.event_id < second.event_id
+        assert first != second
+
+    def test_equality_by_identity_not_content(self):
+        a = Event(EventType("A"), 1.0, {"x": 1})
+        b = Event(EventType("A"), 1.0, {"x": 1})
+        assert a != b
+        assert a == a
+
+    def test_stream_order_uses_timestamp_then_id(self):
+        early = Event(EventType("A"), 1.0)
+        late = Event(EventType("A"), 2.0)
+        tie = Event(EventType("A"), 2.0)
+        assert early < late
+        assert late < tie  # created later, same timestamp
+
+    def test_type_name_property(self):
+        assert Event(EventType("Zed"), 0.0).type_name == "Zed"
+
+    def test_default_payload_size(self):
+        assert Event(EventType("A"), 0.0).payload_size == 64
+
+    def test_repr_mentions_type_and_time(self):
+        event = Event(EventType("A"), 1.5)
+        assert "A" in repr(event)
+        assert "1.5" in repr(event)
+
+    def test_hashable_in_sets(self):
+        a = Event(EventType("A"), 1.0)
+        b = Event(EventType("A"), 1.0)
+        assert len({a, b, a}) == 2
+
+
+class TestStreamOrderValidation:
+    def test_in_order_passes_through(self):
+        events = [Event(EventType("A"), float(i)) for i in range(5)]
+        assert list(validate_stream_order(events)) == events
+
+    def test_equal_timestamps_allowed(self):
+        events = [Event(EventType("A"), 1.0), Event(EventType("A"), 1.0)]
+        assert len(list(validate_stream_order(events))) == 2
+
+    def test_out_of_order_raises(self):
+        events = [Event(EventType("A"), 2.0), Event(EventType("A"), 1.0)]
+        with pytest.raises(StreamError):
+            list(validate_stream_order(events))
+
+    def test_error_is_lazy(self):
+        events = [Event(EventType("A"), 2.0), Event(EventType("A"), 1.0)]
+        iterator = validate_stream_order(events)
+        assert next(iterator).timestamp == 2.0  # first event fine
+        with pytest.raises(StreamError):
+            next(iterator)
+
+
+class TestStreamFromRecords:
+    def test_builds_events_with_shared_types(self):
+        records = [("A", 1.0, {"x": 1}), ("A", 2.0, {"x": 2}), ("B", 3.0, {})]
+        events = list(stream_from_records(records))
+        assert [e.type.name for e in events] == ["A", "A", "B"]
+        assert events[0].type is events[1].type
+
+    def test_respects_declared_types(self):
+        declared = EventType("A", ("x",))
+        events = list(
+            stream_from_records([("A", 1.0, {"x": 1})], types={"A": declared})
+        )
+        assert events[0].type is declared

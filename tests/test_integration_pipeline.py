@@ -1,0 +1,104 @@
+"""Cross-module integration tests: datasets -> queries -> engines ->
+simulator, exercising the whole stack the way the benchmarks do."""
+
+import pytest
+
+from repro.bench import BenchScale, build_query, sensor_events, stock_events
+from repro.engine import assert_equivalent, detect
+from repro.hypersonic import HypersonicConfig, HypersonicEngine
+from repro.simulator import CacheModel, simulate
+
+SCALE = BenchScale(num_events=900, seed=77)
+CACHE = CacheModel(capacity_items=64.0, touch_cost=0.02)
+
+
+@pytest.fixture(scope="module")
+def stocks():
+    return stock_events(SCALE)
+
+
+@pytest.fixture(scope="module")
+def sensors():
+    return sensor_events(SCALE)
+
+
+class TestStockPipeline:
+    def test_query_on_dataset_agrees_across_engines(self, stocks):
+        spec = build_query("stocks", "seq", 3, 25.0, stocks, SCALE)
+        reference = detect(spec.pattern, stocks)
+        hybrid = HypersonicEngine(
+            spec.pattern, 6, config=HypersonicConfig(agent_dynamic=True)
+        ).run(stocks)
+        assert_equivalent(reference, hybrid, "stock pipeline")
+
+    def test_kleene_template_through_simulator(self, stocks):
+        spec = build_query("stocks", "kleene", 6, 8.0, stocks, SCALE)
+        result = simulate(
+            "hypersonic", spec.pattern, stocks, num_cores=6, cache=CACHE
+        )
+        reference = detect(spec.pattern, stocks)
+        assert result.matches == len({m.key for m in reference})
+
+    def test_negation_template_through_simulator(self, stocks):
+        spec = build_query("stocks", "negation", 4, 25.0, stocks, SCALE)
+        seq = simulate("sequential", spec.pattern, stocks, num_cores=1,
+                       cache=CACHE)
+        hyper = simulate("hypersonic", spec.pattern, stocks, num_cores=6,
+                         cache=CACHE)
+        assert seq.matches == hyper.matches
+
+
+class TestSensorPipeline:
+    def test_distance_query_equivalence(self, sensors):
+        spec = build_query("sensors", "seq", 4, 25.0, sensors, SCALE)
+        reference = detect(spec.pattern, sensors)
+        hybrid = HypersonicEngine(spec.pattern, 6).run(sensors)
+        assert_equivalent(reference, hybrid, "sensor pipeline")
+
+    def test_simulator_strategies_agree(self, sensors):
+        spec = build_query("sensors", "seq", 3, 20.0, sensors, SCALE)
+        counts = set()
+        for strategy in ("sequential", "hypersonic", "rip", "llsf"):
+            result = simulate(
+                strategy, spec.pattern, sensors, num_cores=4, cache=CACHE
+            )
+            counts.add(result.matches)
+        assert len(counts) == 1
+
+
+class TestScalingShape:
+    """The headline qualitative claims, asserted at test scale."""
+
+    def test_hypersonic_beats_data_parallel(self, stocks):
+        spec = build_query("stocks", "seq", 4, 30.0, stocks, SCALE)
+        hyper = simulate(
+            "hypersonic", spec.pattern, stocks, num_cores=8,
+            cache=CACHE, agent_dynamic=True,
+        )
+        llsf = simulate("llsf", spec.pattern, stocks, num_cores=8, cache=CACHE)
+        assert hyper.throughput > llsf.throughput
+
+    def test_hypersonic_scales_with_cores(self, stocks):
+        spec = build_query("stocks", "seq", 4, 30.0, stocks, SCALE)
+        few = simulate(
+            "hypersonic", spec.pattern, stocks, num_cores=3,
+            cache=CACHE, agent_dynamic=True,
+        )
+        many = simulate(
+            "hypersonic", spec.pattern, stocks, num_cores=12,
+            cache=CACHE, agent_dynamic=True,
+        )
+        assert many.throughput > few.throughput
+
+    def test_rip_duplication_grows_with_window(self, stocks):
+        small = build_query("stocks", "seq", 3, 10.0, stocks, SCALE)
+        large = build_query("stocks", "seq", 3, 40.0, stocks, SCALE)
+        rip_small = simulate(
+            "rip", small.pattern, stocks, num_cores=4, cache=CACHE,
+            chunk_size=64,
+        )
+        rip_large = simulate(
+            "rip", large.pattern, stocks, num_cores=4, cache=CACHE,
+            chunk_size=64,
+        )
+        assert rip_large.duplication_factor > rip_small.duplication_factor

@@ -1,0 +1,67 @@
+"""Tests for the Theorem 6 memory model."""
+
+import pytest
+
+from repro.costmodel import (
+    CostParameters,
+    WorkloadStatistics,
+    expected_memory,
+    total_expected_memory,
+)
+
+
+def stats(rates=(1.0, 1.0, 1.0), sels=(1.0, 0.1, 0.1), sizes=()):
+    return WorkloadStatistics(
+        rates=rates, selectivities=sels, event_sizes=sizes
+    )
+
+
+class TestExpectedMemory:
+    def test_one_entry_per_agent(self):
+        memories = expected_memory(stats(), window=5.0)
+        assert len(memories) == 2
+
+    def test_agb_accumulates_upstream_types(self):
+        memories = expected_memory(
+            stats(sizes=(10.0, 10.0, 10.0)), window=5.0
+        )
+        # Agent 1's AGB covers three types, agent 0's only two.
+        assert memories[1].agb_bytes > memories[0].agb_bytes
+
+    def test_agb_formula(self):
+        memories = expected_memory(
+            stats(rates=(2.0, 1.0, 1.0), sizes=(10.0, 20.0, 30.0)),
+            window=5.0,
+        )
+        # Agent 0: own type (stage 1): 1*20*5 + upstream (stage 0): 2*10*5
+        assert memories[0].agb_bytes == pytest.approx(100 + 100)
+
+    def test_eb_is_pointers(self):
+        costs = CostParameters(pointer_size=8)
+        memories = expected_memory(
+            stats(rates=(1.0, 3.0, 1.0)), window=5.0, costs=costs
+        )
+        assert memories[0].eb_bytes == pytest.approx(3.0 * 5.0 * 8)
+
+    def test_mb_scales_with_match_size(self):
+        shallow = expected_memory(stats(), window=5.0)
+        deep = expected_memory(
+            stats(sels=(1.0, 0.5, 0.5)), window=5.0
+        )
+        assert deep[1].mb_bytes > shallow[1].mb_bytes
+
+    def test_total_is_sum(self):
+        total = total_expected_memory(stats(), window=5.0)
+        assert total == pytest.approx(
+            sum(m.total for m in expected_memory(stats(), window=5.0))
+        )
+
+    def test_memory_grows_with_window(self):
+        small = total_expected_memory(stats(), window=2.0)
+        large = total_expected_memory(stats(), window=20.0)
+        assert large > small
+
+    def test_memory_grows_with_rates(self):
+        slow = total_expected_memory(stats(rates=(1, 1, 1)), window=5.0)
+        fast = total_expected_memory(stats(rates=(3, 3, 3)), window=5.0)
+        assert fast > slow

@@ -1,0 +1,181 @@
+"""Tests for chain-NFA compilation."""
+
+import pytest
+
+from repro.core import (
+    AndCondition,
+    AttributeCondition,
+    Event,
+    EventType,
+    PartialMatch,
+    Pattern,
+    PatternError,
+    UnaryCondition,
+    compile_pattern,
+)
+from repro.core.nfa import seq_order_allows
+
+A = EventType("A")
+
+
+class TestCompilation:
+    def test_one_stage_per_positive_item(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B", "C"], window=1.0))
+        assert nfa.num_stages == 3
+        assert [s.event_type_name for s in nfa.stages] == ["A", "B", "C"]
+        assert [s.index for s in nfa.stages] == [0, 1, 2]
+
+    def test_negated_items_have_no_stage(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "X", "B"], window=1.0, negated=[1])
+        )
+        assert nfa.num_stages == 2
+        assert [s.event_type_name for s in nfa.stages] == ["A", "B"]
+
+    def test_non_seq_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern(Pattern.conjunction(["A", "B"], window=1.0))
+
+    def test_kleene_flag(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "B", "C"], window=1.0, kleene=[1])
+        )
+        assert nfa.stages[1].is_kleene
+        assert nfa.has_kleene()
+
+
+class TestConditionPlacement:
+    def test_conjunct_attached_at_earliest_bound_stage(self):
+        c12 = AttributeCondition("p1", "x", "<", "p2", "x")
+        c13 = AttributeCondition("p1", "x", "<", "p3", "x")
+        nfa = compile_pattern(
+            Pattern.sequence(
+                ["A", "B", "C"], window=1.0, condition=AndCondition((c13, c12))
+            )
+        )
+        assert nfa.stages[0].conditions == ()
+        assert nfa.stages[1].conditions == (c12,)
+        assert nfa.stages[2].conditions == (c13,)
+
+    def test_unary_on_first_position_lands_on_stage_zero(self):
+        unary = UnaryCondition("p1", lambda e: True)
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "B"], window=1.0, condition=unary)
+        )
+        assert nfa.stages[0].conditions == (unary,)
+
+    def test_guard_conditions_move_to_guard(self):
+        guard_cond = AttributeCondition("p1", "x", "<", "p2", "x")
+        nfa = compile_pattern(
+            Pattern.sequence(
+                ["A", "X", "B"],
+                window=1.0,
+                negated=[1],
+                condition=guard_cond,
+            )
+        )
+        # p2 is the negated position, so the conjunct belongs to the guard.
+        guard = nfa.stages[0].guards_after[0]
+        assert guard.conditions == (guard_cond,)
+        assert nfa.stages[0].conditions == ()
+
+    def test_condition_across_two_negated_positions_rejected(self):
+        cond = AttributeCondition("p2", "x", "<", "p4", "x")
+        with pytest.raises(PatternError):
+            compile_pattern(
+                Pattern.sequence(
+                    ["A", "X", "B", "X", "C"],
+                    window=1.0,
+                    negated=[1, 3],
+                    condition=cond,
+                )
+            )
+
+
+class TestGuards:
+    def test_internal_guard_wiring(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "X", "B"], window=1.0, negated=[1])
+        )
+        guard = nfa.stages[0].guards_after[0]
+        assert guard.after_position == "p1"
+        assert guard.before_position == "p3"
+        assert not guard.trailing
+
+    def test_trailing_guard_wiring(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "B", "X"], window=1.0, negated=[2])
+        )
+        guard = nfa.stages[-1].guards_after[0]
+        assert guard.trailing
+        assert guard.after_position == "p2"
+
+    def test_guarded_type_names(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "X", "B"], window=1.0, negated=[1])
+        )
+        assert nfa.guarded_type_names() == frozenset({"X"})
+        assert nfa.consumed_type_names() == frozenset({"A", "B", "X"})
+
+    def test_guard_violates_between_neighbours(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "X", "B"], window=10.0, negated=[1])
+        )
+        guard = nfa.stages[0].guards_after[0]
+        first = Event(A, 1.0)
+        last = Event(A, 5.0)
+        binding = {"p1": first, "p3": last}
+        inside = Event(EventType("X"), 3.0)
+        before = Event(EventType("X"), 0.5)
+        after = Event(EventType("X"), 6.0)
+        assert guard.violates(binding, inside, 10.0, 1.0)
+        assert not guard.violates(binding, before, 10.0, 1.0)
+        assert not guard.violates(binding, after, 10.0, 1.0)
+
+    def test_trailing_guard_respects_window(self):
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "X"], window=4.0, negated=[1])
+        )
+        guard = nfa.stages[-1].guards_after[0]
+        binding = {"p1": Event(A, 1.0)}
+        in_window = Event(EventType("X"), 4.5)
+        out_of_window = Event(EventType("X"), 5.5)
+        assert guard.violates(binding, in_window, 4.0, 1.0)
+        assert not guard.violates(binding, out_of_window, 4.0, 1.0)
+
+
+class TestSeqOrder:
+    def test_order_by_timestamp_then_id(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B"], window=10.0))
+        first = Event(A, 1.0)
+        pm = PartialMatch.of("p1", first)
+        later = Event(EventType("B"), 2.0)
+        same_time_later_id = Event(EventType("B"), 1.0)
+        assert seq_order_allows(pm, nfa.stages, 1, later)
+        assert seq_order_allows(pm, nfa.stages, 1, same_time_later_id)
+
+    def test_order_rejects_earlier_event(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B"], window=10.0))
+        later = Event(A, 2.0)
+        pm = PartialMatch.of("p1", later)
+        earlier = Event(EventType("B"), 1.0)
+        assert not seq_order_allows(pm, nfa.stages, 1, earlier)
+
+    def test_stage_zero_always_allowed(self):
+        nfa = compile_pattern(Pattern.sequence(["A", "B"], window=10.0))
+        assert seq_order_allows(
+            PartialMatch.empty(), nfa.stages, 0, Event(A, 0.0)
+        )
+
+
+class TestStageAccepts:
+    def test_accepts_checks_conditions_only(self):
+        cond = AttributeCondition("p1", "x", "<", "p2", "x")
+        nfa = compile_pattern(
+            Pattern.sequence(["A", "B"], window=1.0, condition=cond)
+        )
+        pm = PartialMatch.of("p1", Event(A, 0.0, {"x": 1}))
+        good = Event(EventType("B"), 100.0, {"x": 2})  # window ignored here
+        bad = Event(EventType("B"), 0.5, {"x": 0})
+        assert nfa.stages[1].accepts(pm, good)
+        assert not nfa.stages[1].accepts(pm, bad)

@@ -1,0 +1,139 @@
+"""Tests for pattern construction and validation."""
+
+import pytest
+
+from repro.core import (
+    AttributeCondition,
+    EventType,
+    ItemKind,
+    Operator,
+    Pattern,
+    PatternError,
+)
+
+
+class TestSequenceConstruction:
+    def test_basic(self):
+        pattern = Pattern.sequence(["A", "B", "C"], window=10.0)
+        assert pattern.operator is Operator.SEQ
+        assert pattern.length == 3
+        assert [item.name for item in pattern.items] == ["p1", "p2", "p3"]
+
+    def test_accepts_event_type_objects(self):
+        pattern = Pattern.sequence([EventType("A"), "B"], window=1.0)
+        assert pattern.items[0].event_type.name == "A"
+
+    def test_custom_names(self):
+        pattern = Pattern.sequence(
+            ["A", "B"], window=1.0, names=["first", "second"]
+        )
+        assert pattern.items[0].name == "first"
+
+    def test_kleene_marker(self):
+        pattern = Pattern.sequence(["A", "B", "C"], window=1.0, kleene=[1])
+        assert pattern.items[1].is_kleene
+        assert pattern.kleene_items() == (pattern.items[1],)
+
+    def test_negated_marker(self):
+        pattern = Pattern.sequence(["A", "X", "B"], window=1.0, negated=[1])
+        assert pattern.items[1].is_negated
+        assert pattern.positive_items() == (pattern.items[0], pattern.items[2])
+
+    def test_kleene_and_negated_conflict(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(["A", "B"], window=1.0, kleene=[1], negated=[1])
+
+    def test_duplicate_types_allowed_with_distinct_positions(self):
+        pattern = Pattern.sequence(["A", "A"], window=1.0)
+        assert pattern.length == 2
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(["A"], window=0.0)
+        with pytest.raises(PatternError):
+            Pattern.sequence(["A"], window=-1.0)
+
+    def test_needs_items(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence([], window=1.0)
+
+    def test_needs_positive_item(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(["A", "B"], window=1.0, negated=[0, 1])
+
+    def test_leading_negation_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(["X", "A"], window=1.0, negated=[0])
+
+    def test_trailing_negation_allowed(self):
+        pattern = Pattern.sequence(["A", "X"], window=1.0, negated=[1])
+        assert pattern.negated_items()[0].name == "p2"
+
+    def test_condition_position_check(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(
+                ["A", "B"],
+                window=1.0,
+                condition=AttributeCondition("p1", "x", "<", "p9", "x"),
+            )
+
+    def test_duplicate_position_names_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.sequence(["A", "B"], window=1.0, names=["p", "p"])
+
+    def test_and_or_reject_modifiers(self):
+        with pytest.raises(PatternError):
+            Pattern(
+                operator=Operator.AND,
+                items=Pattern.sequence(
+                    ["A", "B"], window=1.0, kleene=[1]
+                ).items,
+                window=1.0,
+            )
+
+
+class TestIntrospection:
+    def test_conjuncts_of_plain_condition(self):
+        cond = AttributeCondition("p1", "x", "<", "p2", "x")
+        pattern = Pattern.sequence(["A", "B"], window=1.0, condition=cond)
+        assert pattern.conjuncts() == (cond,)
+
+    def test_conjuncts_of_true_is_empty(self):
+        pattern = Pattern.sequence(["A", "B"], window=1.0)
+        assert pattern.conjuncts() == ()
+
+    def test_item_by_name(self):
+        pattern = Pattern.sequence(["A", "B"], window=1.0)
+        assert pattern.item_by_name("p2").event_type.name == "B"
+        with pytest.raises(PatternError):
+            pattern.item_by_name("nope")
+
+    def test_event_types(self):
+        pattern = Pattern.sequence(["A", "B"], window=1.0)
+        assert [t.name for t in pattern.event_types()] == ["A", "B"]
+
+    def test_describe_mentions_operator_and_window(self):
+        text = Pattern.sequence(["A", "B"], window=2.5).describe()
+        assert "SEQ" in text
+        assert "2.5" in text
+
+    def test_item_kind_repr_markers(self):
+        pattern = Pattern.sequence(
+            ["A", "B", "X"], window=1.0, kleene=[1], negated=[2]
+        )
+        reprs = [repr(item) for item in pattern.items]
+        assert reprs[1].startswith("+")
+        assert reprs[2].startswith("!")
+
+
+class TestConjunctionDisjunction:
+    def test_and_pattern(self):
+        pattern = Pattern.conjunction(["A", "B"], window=3.0)
+        assert pattern.operator is Operator.AND
+        assert all(item.kind is ItemKind.PRIMARY for item in pattern.items)
+
+    def test_or_pattern(self):
+        pattern = Pattern.disjunction(["A", "B"], window=3.0)
+        assert pattern.operator is Operator.OR

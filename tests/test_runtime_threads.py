@@ -1,0 +1,57 @@
+"""Tests for the real-threads pipeline runtime."""
+
+import pytest
+
+from tests.conftest import make_stream, reference_matches
+from repro.core import Pattern, PatternError
+from repro.core.errors import EngineError
+from repro.engine import assert_equivalent
+from repro.runtime import ThreadedPipelineEngine
+
+
+PATTERNS = [
+    Pattern.sequence(["A", "B", "C"], window=6.0),
+    Pattern.sequence(["A", "B", "C"], window=5.0, kleene=[1]),
+    Pattern.sequence(["A", "X", "B", "C"], window=6.0, negated=[1]),
+    Pattern.sequence(["A", "B", "X"], window=5.0, negated=[2]),
+]
+
+
+@pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.describe())
+def test_threaded_matches_sequential(pattern):
+    events = make_stream(num_events=400, seed=51)
+    reference = reference_matches(pattern, events)
+    got = ThreadedPipelineEngine(pattern).run(events)
+    assert_equivalent(reference, got, "threads")
+
+
+def test_repeated_runs_independent():
+    pattern = Pattern.sequence(["A", "B"], window=4.0)
+    events = make_stream(num_events=200, seed=52)
+    reference = {m.key for m in reference_matches(pattern, events)}
+    for attempt in range(3):
+        got = ThreadedPipelineEngine(pattern).run(events)
+        assert {m.key for m in got} == reference, f"attempt {attempt}"
+
+
+def test_single_use():
+    pattern = Pattern.sequence(["A", "B"], window=4.0)
+    engine = ThreadedPipelineEngine(pattern)
+    engine.run(make_stream(num_events=50, seed=53))
+    with pytest.raises(EngineError):
+        engine.run(make_stream(num_events=50, seed=53))
+
+
+def test_rejects_non_seq():
+    with pytest.raises(PatternError):
+        ThreadedPipelineEngine(Pattern.conjunction(["A", "B"], window=1.0))
+
+
+def test_rejects_single_stage():
+    with pytest.raises(PatternError):
+        ThreadedPipelineEngine(Pattern.sequence(["A"], window=1.0))
+
+
+def test_empty_stream():
+    pattern = Pattern.sequence(["A", "B"], window=4.0)
+    assert ThreadedPipelineEngine(pattern).run([]) == []

@@ -1,0 +1,88 @@
+"""Tests for workload-statistics estimation."""
+
+import pytest
+
+from tests.conftest import make_stream
+from repro.core import AttributeCondition, Pattern
+from repro.costmodel import estimate_statistics, statistics_from_sample
+
+
+class TestEstimateStatistics:
+    def test_rates_reflect_frequencies(self):
+        events = make_stream(num_events=2000, seed=1)
+        pattern = Pattern.sequence(["A", "B", "C"], window=5.0)
+        stats = estimate_statistics(pattern, events)
+        # Five types uniformly: each ~0.2 of total rate (~1 event/time unit
+        # at gap~0.5 mean => ~2 events per time unit overall).
+        total_rate = sum(stats.rates)
+        for rate in stats.rates:
+            assert rate == pytest.approx(total_rate / 3, rel=0.35)
+
+    def test_selectivity_of_unconditioned_stage_is_one(self):
+        events = make_stream(num_events=1000, seed=2)
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        stats = estimate_statistics(pattern, events)
+        assert stats.selectivities[1] == pytest.approx(1.0)
+
+    def test_selectivity_of_filter(self):
+        events = make_stream(num_events=3000, seed=3, attr_range=10)
+        pattern = Pattern.sequence(
+            ["A", "B"],
+            window=5.0,
+            condition=AttributeCondition("p1", "x", "==", "p2", "x"),
+        )
+        stats = estimate_statistics(pattern, events)
+        # x uniform over 10 values -> equality selectivity ~ 0.1.
+        assert stats.selectivities[1] == pytest.approx(0.1, abs=0.05)
+
+    def test_match_rates_measured(self):
+        events = make_stream(num_events=1500, seed=4)
+        pattern = Pattern.sequence(["A", "B", "C"], window=5.0)
+        stats = estimate_statistics(pattern, events)
+        assert len(stats.match_rates) == 3
+        # Seeds arrive at the A rate.
+        assert stats.match_rates[0] == pytest.approx(stats.rates[0], rel=0.05)
+
+    def test_stage_work_measured_and_positive(self):
+        events = make_stream(num_events=1500, seed=5)
+        pattern = Pattern.sequence(["A", "B", "C"], window=5.0)
+        stats = estimate_statistics(pattern, events)
+        assert len(stats.stage_work) == 3
+        assert stats.stage_work[1] > 0
+
+    def test_event_sizes_from_payloads(self):
+        events = make_stream(num_events=500, seed=6)
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        stats = estimate_statistics(pattern, events)
+        assert stats.event_sizes == (64.0, 64.0)
+
+    def test_explicit_event_sizes_win(self):
+        events = make_stream(num_events=200, seed=7)
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        stats = estimate_statistics(pattern, events, event_sizes=[10, 20])
+        assert stats.event_sizes == (10, 20)
+
+    def test_empty_sample_degrades_gracefully(self):
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        stats = estimate_statistics(pattern, [])
+        assert stats.rates == (0.0, 0.0)
+        assert stats.match_rates == ()
+
+
+class TestStatisticsFromSample:
+    def test_prefix_returned_for_replay(self):
+        events = make_stream(num_events=100, seed=8)
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        stats, prefix = statistics_from_sample(
+            pattern, iter(events), sample_size=40
+        )
+        assert prefix == events[:40]
+        assert stats.num_stages == 2
+
+    def test_short_stream_fully_consumed(self):
+        events = make_stream(num_events=10, seed=9)
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        _stats, prefix = statistics_from_sample(
+            pattern, iter(events), sample_size=100
+        )
+        assert len(prefix) == 10

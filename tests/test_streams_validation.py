@@ -1,0 +1,105 @@
+"""Tests for stream utilities and the match-set validator."""
+
+import pytest
+
+from tests.conftest import make_stream
+from repro.core import Event, EventType, Match, Pattern, PartialMatch
+from repro.core.streams import (
+    filter_types,
+    merge_streams,
+    split_by_type,
+    substream_rates,
+    take,
+)
+from repro.engine import assert_equivalent, detect, diff_match_sets
+
+A, B = EventType("A"), EventType("B")
+
+
+class TestMergeStreams:
+    def test_merges_in_order(self):
+        left = [Event(A, 1.0), Event(A, 3.0)]
+        right = [Event(B, 2.0), Event(B, 4.0)]
+        merged = list(merge_streams(left, right))
+        assert [e.timestamp for e in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_tie_break_deterministic(self):
+        first = Event(A, 1.0)
+        second = Event(B, 1.0)
+        merged = list(merge_streams([second], [first]))
+        assert merged[0] is first  # smaller event_id first
+
+
+class TestFilterAndSplit:
+    def test_filter_types(self):
+        events = make_stream(num_events=100, seed=41)
+        only_a = list(filter_types(events, ["A"]))
+        assert only_a
+        assert all(e.type.name == "A" for e in only_a)
+
+    def test_split_by_type_preserves_order(self):
+        events = make_stream(num_events=100, seed=42)
+        buckets = split_by_type(events)
+        for bucket in buckets.values():
+            stamps = [e.timestamp for e in bucket]
+            assert stamps == sorted(stamps)
+        assert sum(len(b) for b in buckets.values()) == 100
+
+    def test_take(self):
+        events = make_stream(num_events=100, seed=43)
+        assert take(iter(events), 7) == events[:7]
+
+
+class TestSubstreamRates:
+    def test_rates_sum_to_total(self):
+        events = make_stream(num_events=1000, seed=44)
+        rates = substream_rates(events)
+        span = events[-1].timestamp - events[0].timestamp
+        assert sum(rates.values()) == pytest.approx(1000 / span)
+
+    def test_absent_types_zero(self):
+        events = make_stream(num_events=100, seed=45, type_names=("A",))
+        rates = substream_rates(events, type_names=["A", "Z"])
+        assert rates["Z"] == 0.0
+        assert rates["A"] > 0
+
+    def test_empty(self):
+        assert substream_rates([], ["A"]) == {"A": 0.0}
+
+
+class TestMatchSetDiff:
+    def _match(self, *timestamps):
+        pm = PartialMatch.of("p1", Event(A, timestamps[0]))
+        for index, stamp in enumerate(timestamps[1:], start=2):
+            pm = pm.extended(f"p{index}", Event(B, stamp))
+        return Match.from_partial(pm)
+
+    def test_identical(self):
+        matches = [self._match(1.0, 2.0)]
+        diff = diff_match_sets(matches, list(matches))
+        assert diff.equivalent
+        assert diff.common == 1
+        assert "identical" in diff.summary()
+
+    def test_missing_and_unexpected(self):
+        reference = [self._match(1.0)]
+        candidate = [self._match(2.0)]
+        diff = diff_match_sets(reference, candidate)
+        assert not diff.equivalent
+        assert len(diff.missing) == 1
+        assert len(diff.unexpected) == 1
+
+    def test_duplicates_collapsed(self):
+        match = self._match(1.0)
+        diff = diff_match_sets([match], [match, match])
+        assert diff.equivalent
+
+    def test_assert_equivalent_raises_with_context(self):
+        with pytest.raises(AssertionError, match="mylabel"):
+            assert_equivalent([self._match(1.0)], [], "mylabel")
+
+    def test_real_engines_validate(self):
+        pattern = Pattern.sequence(["A", "B"], window=5.0)
+        events = make_stream(num_events=200, seed=46)
+        matches = detect(pattern, events)
+        assert_equivalent(matches, matches)

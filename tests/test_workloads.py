@@ -1,0 +1,121 @@
+"""Tests for the Table 2 query templates."""
+
+import pytest
+
+from repro.core import PatternError
+from repro.datasets import SensorConfig, StockConfig, generate_sensor_stream, generate_stock_stream
+from repro.engine import detect
+from repro.workloads import (
+    sensor_kleene_query,
+    sensor_negation_query,
+    sensor_sequence_query,
+    stock_kleene_query,
+    stock_negation_query,
+    stock_sequence_query,
+)
+
+
+@pytest.fixture(scope="module")
+def stock_sample():
+    return generate_stock_stream(
+        StockConfig(num_events=2500, symbols=tuple(f"S{i}" for i in range(7)),
+                    seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def sensor_sample():
+    return generate_sensor_stream(SensorConfig(num_events=2500, seed=17))
+
+
+class TestStockQueries:
+    def test_qa1_structure(self, stock_sample):
+        spec = stock_sequence_query(
+            ["S0", "S1", "S2"], 20.0, stock_sample, selectivity=0.2
+        )
+        assert spec.template == "Q_A1"
+        assert spec.pattern.length == 3
+        assert len(spec.thresholds) == 2  # adjacent pairs
+
+    def test_qa1_length_bounds(self, stock_sample):
+        with pytest.raises(PatternError):
+            stock_sequence_query(["S0", "S1"], 20.0, stock_sample)
+        with pytest.raises(PatternError):
+            stock_sequence_query(
+                [f"S{i}" for i in range(8)], 20.0, stock_sample
+            )
+
+    def test_qa2_kleene(self, stock_sample):
+        spec = stock_kleene_query(
+            [f"S{i}" for i in range(6)], 20.0, stock_sample,
+            kleene_position=2, selectivity=0.2,
+        )
+        assert spec.pattern.items[2].is_kleene
+        assert spec.template == "Q_A2"
+
+    def test_qa2_requires_six_types(self, stock_sample):
+        with pytest.raises(PatternError):
+            stock_kleene_query(["S0", "S1", "S2"], 20.0, stock_sample)
+
+    def test_qa2_rejects_leading_kleene(self, stock_sample):
+        with pytest.raises(PatternError):
+            stock_kleene_query(
+                [f"S{i}" for i in range(6)], 20.0, stock_sample,
+                kleene_position=0,
+            )
+
+    def test_qa3_negation_skips_conditions(self, stock_sample):
+        spec = stock_negation_query(
+            ["S0", "S1", "S2", "S3"], 20.0, stock_sample,
+            negated_position=2, selectivity=0.2,
+        )
+        assert spec.pattern.items[2].is_negated
+        # conditions cover adjacent positive pairs only: (0,1), (1,3).
+        assert len(spec.thresholds) == 2
+
+    def test_queries_detect_consistently(self, stock_sample):
+        spec = stock_sequence_query(
+            ["S0", "S1", "S2"], 15.0, stock_sample, selectivity=0.3
+        )
+        matches = detect(spec.pattern, stock_sample)
+        for match in matches[:20]:
+            assert match["p1"].type.name == "S0"
+            assert match["p3"].type.name == "S2"
+            assert match.latest - match.earliest <= 15.0
+
+
+class TestSensorQueries:
+    def test_qb1_structure(self, sensor_sample):
+        spec = sensor_sequence_query(
+            ["cooking", "sleeping", "washing"], 20.0, sensor_sample,
+            selectivity=0.3,
+        )
+        assert spec.template == "Q_B1"
+        assert len(spec.thresholds) == 2
+
+    def test_qb2_kleene(self, sensor_sample):
+        activities = SensorConfig().activities
+        spec = sensor_kleene_query(
+            list(activities[:6]), 20.0, sensor_sample, selectivity=0.3
+        )
+        assert spec.pattern.kleene_items()
+
+    def test_qb3_negation(self, sensor_sample):
+        spec = sensor_negation_query(
+            ["cooking", "sleeping", "washing", "relaxing"], 20.0,
+            sensor_sample, selectivity=0.3,
+        )
+        assert spec.pattern.negated_items()
+
+    def test_margin_semantics(self, sensor_sample):
+        spec = sensor_sequence_query(
+            ["cooking", "sleeping", "washing"], 20.0, sensor_sample,
+            selectivity=0.4, zone="kitchen",
+        )
+        matches = detect(spec.pattern, sensor_sample)
+        margin = spec.thresholds[0]
+        for match in matches[:20]:
+            assert (
+                match["p2"]["distance_kitchen"]
+                > match["p1"]["distance_kitchen"] + margin - 1e-9
+            )
