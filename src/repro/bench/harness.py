@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.events import Event
+from repro.obs.tracer import Tracer
 from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters
 from repro.datasets.sensors import SensorConfig, generate_sensor_stream
@@ -241,6 +242,7 @@ def compare_strategies(
     cores: int,
     strategies: Sequence[str] = COMPARED_STRATEGIES,
     scale: BenchScale = DEFAULT_SCALE,
+    tracer_factory: Callable[[str], Tracer] | None = None,
     **simulate_kwargs,
 ) -> dict[str, SimResult]:
     """Simulate every strategy on one workload under the shared models.
@@ -249,6 +251,13 @@ def compare_strategies(
     cost-model outer balancing), matching the complete system the paper
     benchmarks in Figures 7-9; the ablation benches switch features off
     explicitly.
+
+    ``tracer_factory`` is the opt-in observability hook: when given, it is
+    called once per strategy (with the strategy name) and must return the
+    :class:`~repro.obs.Tracer` for that run — e.g.
+    ``lambda name: TraceRecorder()``.  Each result then carries its
+    per-agent summary in ``extra["obs"]``, and the recorder instances can
+    be kept (e.g. in a dict) for full trace export.
     """
     cache = simulate_kwargs.pop("cache", default_cache())
     costs = simulate_kwargs.pop("costs", default_costs())
@@ -259,6 +268,8 @@ def compare_strategies(
             kwargs.setdefault("agent_dynamic", True)
         if strategy == "rip":
             kwargs.setdefault("chunk_size", scale.chunk_size)
+        if tracer_factory is not None:
+            kwargs["tracer"] = tracer_factory(strategy)
         results[strategy] = simulate(
             strategy,
             pattern,

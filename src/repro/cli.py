@@ -82,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="sequential,hypersonic,rip,llsf",
         help="comma-separated strategy list",
     )
+    sim.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a structured trace and write Chrome trace_event JSON "
+            "to PATH (open in Perfetto / chrome://tracing); with several "
+            "strategies, one file per strategy is written with the "
+            "strategy name appended"
+        ),
+    )
     return parser
 
 
@@ -170,19 +181,48 @@ def _command_detect(args) -> int:
     return 0
 
 
+def _trace_path(base: str, strategy: str, multiple: bool) -> str:
+    """Per-strategy trace file name: the given path, or, with several
+    strategies racing, the strategy name spliced in before the suffix."""
+    if not multiple:
+        return base
+    stem, dot, suffix = base.rpartition(".")
+    if not dot:
+        return f"{base}-{strategy}"
+    return f"{stem}-{strategy}.{suffix}"
+
+
 def _command_simulate(args) -> int:
+    if args.trace:
+        import os
+
+        parent = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(parent):
+            raise SystemExit(
+                f"--trace: directory {parent!r} does not exist"
+            )
     events = load_stream(args.input)
     spec = _build_query(args, events)
     print(f"query: {spec.pattern.describe()}")
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
+    strategies = [name.strip() for name in args.strategies.split(",")]
     results = {}
-    for strategy in args.strategies.split(","):
-        strategy = strategy.strip()
+    for strategy in strategies:
         kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        if args.trace:
+            from repro.obs import TraceRecorder
+
+            kwargs["tracer"] = TraceRecorder()
         results[strategy] = simulate(
             strategy, spec.pattern, events, num_cores=args.cores,
             cache=cache, **kwargs,
         )
+        if args.trace:
+            from repro.obs import write_chrome_trace
+
+            path = _trace_path(args.trace, strategy, len(strategies) > 1)
+            write_chrome_trace(path, kwargs["tracer"])
+            print(f"trace ({strategy}): {path}")
     baseline = results.get("sequential")
     header = (
         f"{'strategy':12s} {'throughput':>12s} {'gain':>7s} "

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.core.events import Event, EventType
+from repro.core.events import Event
 
 __all__ = ["ArrivalProcess", "DatasetConfig", "interleave_arrivals"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.errors import StreamError
 from repro.core.events import Event, EventType

@@ -17,10 +17,10 @@ counters as its ground-truth computational load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.core.errors import EngineError, PatternError
+from repro.core.errors import EngineError
 from repro.core.events import Event, validate_stream_order
 from repro.core.matches import Match, PartialMatch
 from repro.core.nfa import ChainNFA, compile_pattern, seq_order_allows

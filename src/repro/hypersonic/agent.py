@@ -634,6 +634,14 @@ class AgentCore:
     def queue_depth(self) -> int:
         return len(self.es) + len(self.ms) + len(self.guard_q)
 
+    def channel_depths(self) -> tuple[tuple[str, int], ...]:
+        """Current depth of each input channel, for queue-depth tracing."""
+        return (
+            ("ES", len(self.es)),
+            ("MS", len(self.ms)),
+            ("GQ", len(self.guard_q)),
+        )
+
     def __repr__(self) -> str:
         return (
             f"AgentCore(A{self.agent_index}, stage={self.stage_index}, "

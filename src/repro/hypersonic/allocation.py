@@ -43,6 +43,14 @@ class AllocationPlan:
             index for index, count in enumerate(self.per_agent) if count < 2
         )
 
+    def describe(self) -> dict:
+        """JSON-serialisable view of the plan, used by trace exports."""
+        return {
+            "per_agent": list(self.per_agent),
+            "loads": list(self.loads),
+            "scheme": self.scheme,
+        }
+
 
 def allocate_units(
     nfa: ChainNFA,

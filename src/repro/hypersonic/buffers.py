@@ -11,7 +11,7 @@ for the peak-memory metric, not a separate copy of the data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generic, Iterator, TypeVar
 
 from repro.core.events import Event

@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import AllocationError, PatternError
 from repro.core.events import Event, validate_stream_order
-from repro.core.matches import Match, PartialMatch
+from repro.core.matches import Match
 from repro.core.nfa import ChainNFA, compile_pattern
 from repro.core.patterns import Operator, Pattern
 from repro.costmodel.model import CostParameters, WorkloadStatistics
@@ -34,6 +34,7 @@ from repro.hypersonic.fusion import FusionPlan, build_agent, plan_with_fusion
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
 from repro.hypersonic.splitter import RouteTarget, Splitter
 from repro.hypersonic.workers import ExecutionUnit, WorkerPolicy, assign_roles
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["HypersonicConfig", "FunctionalMetrics", "HypersonicEngine"]
 
@@ -87,6 +88,7 @@ class HypersonicEngine:
         config: HypersonicConfig | None = None,
         stats: WorkloadStatistics | None = None,
         costs: CostParameters | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if pattern.operator is not Operator.SEQ:
             raise PatternError("HYPERSONIC evaluates SEQ patterns")
@@ -107,6 +109,7 @@ class HypersonicEngine:
         self.config = config if config is not None else HypersonicConfig()
         self.costs = costs if costs is not None else CostParameters()
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = FunctionalMetrics()
 
         self._rng = random.Random(self.config.seed)
@@ -148,6 +151,9 @@ class HypersonicEngine:
             )
             groups = self.fusion_plan.groups
             per_agent = list(self.fusion_plan.per_agent)
+            if self.tracer.enabled:
+                plan = self.fusion_plan.describe()
+                self.tracer.fusion_plan(0.0, plan["groups"], plan["per_agent"])
         else:
             self.allocation_plan = allocate_units(
                 nfa, self.stats, self.num_units,
@@ -155,8 +161,13 @@ class HypersonicEngine:
             )
             groups = tuple((stage,) for stage in range(1, nfa.num_stages))
             per_agent = list(self.allocation_plan.per_agent)
+            if self.tracer.enabled:
+                plan = self.allocation_plan.describe()
+                self.tracer.alloc_plan(
+                    0.0, plan["per_agent"], plan["loads"], plan["scheme"]
+                )
 
-        splitter = Splitter(nfa=nfa)
+        splitter = Splitter(nfa=nfa, tracer=self.tracer)
         self.splitter = splitter
         watermark = lambda: splitter.watermark  # noqa: E731
 
@@ -196,6 +207,7 @@ class HypersonicEngine:
             role_dynamic=config.role_dynamic,
             agent_dynamic=config.agent_dynamic,
             rng=random.Random(config.seed + 1),
+            tracer=self.tracer,
         )
         self.policy.watermark = watermark
         self._built = True

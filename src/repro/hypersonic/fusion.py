@@ -122,6 +122,14 @@ class FusedAgentCore:
     def queue_depth(self) -> int:
         return len(self.es) + len(self.es2) + len(self.ms)
 
+    def channel_depths(self) -> tuple[tuple[str, int], ...]:
+        """Current depth of each input channel, for queue-depth tracing."""
+        return (
+            ("ES1", len(self.es)),
+            ("ES2", len(self.es2)),
+            ("MS", len(self.ms)),
+        )
+
     def maintenance(self) -> Receipt:
         return Receipt()
 
@@ -307,6 +315,13 @@ class FusionPlan:
         return tuple(
             index for index, group in enumerate(self.groups) if len(group) > 1
         )
+
+    def describe(self) -> dict:
+        """JSON-serialisable view of the plan, used by trace exports."""
+        return {
+            "groups": [list(group) for group in self.groups],
+            "per_agent": list(self.per_agent),
+        }
 
 
 def _fusable(nfa: ChainNFA, group_a: tuple[int, ...],

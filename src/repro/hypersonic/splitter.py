@@ -24,6 +24,7 @@ from repro.core.events import Event
 from repro.core.matches import PartialMatch
 from repro.core.nfa import ChainNFA
 from repro.hypersonic.items import ItemKind, WorkItem, WorkQueue
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["RouteTarget", "Splitter", "SplitterReceipt"]
 
@@ -55,6 +56,9 @@ class Splitter:
     routes: dict[str, list[RouteTarget]] = field(default_factory=dict)
     watermark: float = float("-inf")
     events_routed: int = 0
+    events_dropped: int = 0
+    drops_by_type: dict[str, int] = field(default_factory=dict)
+    tracer: Tracer = NULL_TRACER
     _sealed: bool = False
 
     def add_route(self, type_name: str, target: RouteTarget) -> None:
@@ -65,7 +69,18 @@ class Splitter:
 
         Returns the receipt the drivers use for cost accounting.  Events of
         types the pattern does not reference are dropped (counted in the
-        receipt) — the splitter is the system's type filter.
+        receipt and in ``events_dropped``) — the splitter is the system's
+        type filter.
+
+        The watermark advances for *every* in-order input event, including
+        dropped foreign-type ones.  This is intentional and load-bearing:
+        the watermark means "no event with a smaller timestamp can still
+        arrive anywhere in the system", a property of the *global* input
+        stream, not of the routed substreams.  Negation-quarantine release
+        (:meth:`AgentCore._clear_at`) depends on it — if dropped events did
+        not advance the watermark, a stream tail of foreign types would
+        withhold guard-clean matches forever.  Locked in by
+        ``test_watermark_advances_on_dropped_foreign_type``.
         """
         receipt = SplitterReceipt()
         if event.timestamp > self.watermark:
@@ -73,6 +88,11 @@ class Splitter:
         targets = self.routes.get(event.type.name)
         if not targets:
             receipt.dropped = True
+            self.events_dropped += 1
+            name = event.type.name
+            self.drops_by_type[name] = self.drops_by_type.get(name, 0) + 1
+            if self.tracer.enabled:
+                self.tracer.splitter_drop(ready_at, name)
             return receipt
         self.events_routed += 1
         stage0 = self.nfa.stages[0]
@@ -86,6 +106,9 @@ class Splitter:
             else:
                 target.queue.push(WorkItem(target.kind, event), ready_at)
             receipt.pushes += 1
+        if self.tracer.enabled:
+            self.tracer.splitter_route(ready_at, event.type.name,
+                                       receipt.pushes)
         return receipt
 
     def seal(self) -> None:

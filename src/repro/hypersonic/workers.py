@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 from repro.hypersonic.items import WorkItem
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Roles", "ExecutionUnit", "AgentLike", "WorkerPolicy"]
 
@@ -90,6 +91,7 @@ class WorkerPolicy:
     agent_dynamic: bool = False
     rng: random.Random = field(default_factory=lambda: random.Random(7))
     max_probes: int = 8
+    tracer: Tracer = NULL_TRACER
 
     def watermark(self) -> float:  # overridden by the engine wiring
         return float("inf")
@@ -102,6 +104,11 @@ class WorkerPolicy:
         choice = self._try_agent(unit.current_agent, unit.primary_role, now)
         if choice is not None:
             unit.idle_streak = 0
+            if self.tracer.enabled and choice.role != unit.primary_role:
+                self.tracer.role_switch(
+                    now, unit.unit_id, choice.agent_index,
+                    unit.primary_role, choice.role,
+                )
             return choice
         if self.agent_dynamic:
             hop_choice = self._try_hop(unit, now)
@@ -159,6 +166,15 @@ class WorkerPolicy:
         for candidate in candidates[: self.max_probes]:
             choice = self._try_agent(candidate, unit.primary_role, now)
             if choice is not None:
+                if self.tracer.enabled:
+                    self.tracer.migration(
+                        now, unit.unit_id, unit.current_agent, candidate
+                    )
+                    if choice.role != unit.primary_role:
+                        self.tracer.role_switch(
+                            now, unit.unit_id, candidate,
+                            unit.primary_role, choice.role,
+                        )
                 unit.current_agent = candidate
                 unit.last_hop_watermark = watermark
                 unit.hops += 1

@@ -1,0 +1,29 @@
+"""Observability layer: structured tracing and metrics export.
+
+The simulators accept a :class:`Tracer`; the default :data:`NULL_TRACER`
+records nothing and costs one attribute check per hot-path site.  A
+:class:`TraceRecorder` collects typed :class:`TraceEvent` records against
+the virtual clock, which the exporters render as a Chrome ``trace_event``
+JSON file (openable in Perfetto / ``chrome://tracing``), a JSONL event
+log, or a per-agent/per-unit summary table.
+"""
+
+from repro.obs.tracer import NULL_TRACER, TraceEvent, TraceKind, TraceRecorder, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "TraceEvent",
+    "TraceKind",
+    "TraceRecorder",
+    "Tracer",
+    "chrome_trace",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,211 @@
+"""Typed trace events and the tracer interface.
+
+A :class:`Tracer` receives structured notifications from the simulators
+and the HYPERSONIC components they drive.  The base class is the *null*
+tracer: every hook is a no-op and ``enabled`` is ``False``, so hot paths
+guard event construction behind a single attribute check —
+
+    if tracer.enabled:
+        tracer.queue_depth(now, agent_index, "ES", depth)
+
+— and a disabled run performs no allocation or bookkeeping at all.
+
+:class:`TraceRecorder` is the recording implementation; it appends
+:class:`TraceEvent` records (virtual-clock timestamps) to an in-memory
+list consumed by :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceKind", "TraceEvent", "Tracer", "NULL_TRACER", "TraceRecorder"]
+
+
+class TraceKind:
+    """Names of the event types a tracer can record.
+
+    ``UNIT_BUSY`` is the only *span* kind (it carries a duration); every
+    other kind is instantaneous.  ``QUEUE_DEPTH`` is a counter sample.
+    """
+
+    UNIT_BUSY = "unit_busy"          # span: one work item on one unit
+    QUEUE_DEPTH = "queue_depth"      # counter: depth of one agent channel
+    SPLITTER_ROUTE = "splitter_route"  # instant: event fanned out to agents
+    SPLITTER_DROP = "splitter_drop"    # instant: foreign-type event dropped
+    ALLOC_PLAN = "alloc_plan"        # instant: outer allocation decided
+    FUSION_PLAN = "fusion_plan"      # instant: Algorithm 2 plan decided
+    ROLE_SWITCH = "role_switch"      # instant: unit worked its secondary role
+    MIGRATION = "migration"          # instant: Algorithm 1 hop between agents
+    MATCH = "match"                  # instant: full match emitted
+    PARTITION_START = "partition_start"  # instant: partition run activated
+
+    ALL = (
+        UNIT_BUSY, QUEUE_DEPTH, SPLITTER_ROUTE, SPLITTER_DROP, ALLOC_PLAN,
+        FUSION_PLAN, ROLE_SWITCH, MIGRATION, MATCH, PARTITION_START,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded occurrence on the virtual clock.
+
+    ``ts`` is virtual time; ``dur`` is nonzero only for span kinds.
+    ``unit`` / ``agent`` are ``None`` when the event is not tied to an
+    execution unit / agent.  ``args`` holds kind-specific details and must
+    stay JSON-serialisable.
+    """
+
+    kind: str
+    ts: float
+    dur: float = 0.0
+    unit: int | None = None
+    agent: int | None = None
+    args: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        record = {"kind": self.kind, "ts": self.ts}
+        if self.dur:
+            record["dur"] = self.dur
+        if self.unit is not None:
+            record["unit"] = self.unit
+        if self.agent is not None:
+            record["agent"] = self.agent
+        if self.args:
+            record["args"] = self.args
+        return record
+
+
+class Tracer:
+    """Null tracer: the default, zero-cost observability sink.
+
+    Subclasses that actually record set ``enabled = True``; callers on hot
+    paths must check ``enabled`` before building event arguments.
+    """
+
+    enabled = False
+
+    def unit_busy(self, start: float, dur: float, unit: int, agent: int,
+                  role: str, item_kind: str) -> None:
+        """Unit *unit* processed one *item_kind* item for *agent* in *role*,
+        occupying it for ``[start, start + dur)``."""
+
+    def queue_depth(self, ts: float, agent: int, channel: str,
+                    depth: int) -> None:
+        """Sampled depth of one agent channel (ES/MS/GQ/...)."""
+
+    def splitter_route(self, ts: float, event_type: str, pushes: int) -> None:
+        """The splitter fanned an event of *event_type* out as *pushes*."""
+
+    def splitter_drop(self, ts: float, event_type: str) -> None:
+        """The splitter dropped an event of a type the pattern ignores."""
+
+    def alloc_plan(self, ts: float, per_agent: list[int], loads: list[float],
+                   scheme: str) -> None:
+        """The outer allocation (Theorem 1 / equal split) was decided."""
+
+    def fusion_plan(self, ts: float, groups: list[list[int]],
+                    per_agent: list[int]) -> None:
+        """Algorithm 2 produced its agent grouping and allocation."""
+
+    def role_switch(self, ts: float, unit: int, agent: int, primary: str,
+                    acted: str) -> None:
+        """A role-dynamic unit worked its secondary role for one item."""
+
+    def migration(self, ts: float, unit: int, from_agent: int,
+                  to_agent: int) -> None:
+        """An agent-dynamic unit hopped between agents (Algorithm 1)."""
+
+    def match(self, ts: float, agent: int, latency: float | None) -> None:
+        """A complete match left the system (latency when known)."""
+
+    def partition_start(self, ts: float, partition: int, unit: int) -> None:
+        """A data-parallel partition run was activated on *unit*."""
+
+
+#: Shared process-wide null tracer instance.
+NULL_TRACER = Tracer()
+
+
+class TraceRecorder(Tracer):
+    """Tracer that appends :class:`TraceEvent` records to ``events``."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def unit_busy(self, start: float, dur: float, unit: int, agent: int,
+                  role: str, item_kind: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.UNIT_BUSY, start, dur=dur, unit=unit, agent=agent,
+            args={"role": role, "item": item_kind},
+        ))
+
+    def queue_depth(self, ts: float, agent: int, channel: str,
+                    depth: int) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.QUEUE_DEPTH, ts, agent=agent,
+            args={"channel": channel, "depth": depth},
+        ))
+
+    def splitter_route(self, ts: float, event_type: str, pushes: int) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.SPLITTER_ROUTE, ts,
+            args={"type": event_type, "pushes": pushes},
+        ))
+
+    def splitter_drop(self, ts: float, event_type: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.SPLITTER_DROP, ts, args={"type": event_type},
+        ))
+
+    def alloc_plan(self, ts: float, per_agent: list[int], loads: list[float],
+                   scheme: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.ALLOC_PLAN, ts,
+            args={
+                "per_agent": list(per_agent),
+                "loads": [round(load, 6) for load in loads],
+                "scheme": scheme,
+            },
+        ))
+
+    def fusion_plan(self, ts: float, groups: list[list[int]],
+                    per_agent: list[int]) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.FUSION_PLAN, ts,
+            args={
+                "groups": [list(group) for group in groups],
+                "per_agent": list(per_agent),
+            },
+        ))
+
+    def role_switch(self, ts: float, unit: int, agent: int, primary: str,
+                    acted: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.ROLE_SWITCH, ts, unit=unit, agent=agent,
+            args={"primary": primary, "acted": acted},
+        ))
+
+    def migration(self, ts: float, unit: int, from_agent: int,
+                  to_agent: int) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.MIGRATION, ts, unit=unit, agent=to_agent,
+            args={"from": from_agent, "to": to_agent},
+        ))
+
+    def match(self, ts: float, agent: int, latency: float | None) -> None:
+        args = {} if latency is None else {"latency": latency}
+        self.events.append(TraceEvent(
+            TraceKind.MATCH, ts, agent=agent, args=args,
+        ))
+
+    def partition_start(self, ts: float, partition: int, unit: int) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.PARTITION_START, ts, unit=unit,
+            args={"partition": partition},
+        ))

@@ -10,7 +10,7 @@ from repro.simulator.cache import CacheModel
 from repro.simulator.hypersonic_sim import HypersonicSimulation, simulate_hypersonic
 from repro.simulator.metrics import LatencyAccumulator, SimResult
 from repro.simulator.partition_sim import SequentialSimEngine, simulate_partitioned
-from repro.simulator.runner import STRATEGIES, simulate
+from repro.simulator.runner import ALLOCATION_SCHEMES, STRATEGIES, simulate
 
 __all__ = [
     "CacheModel",
@@ -20,6 +20,7 @@ __all__ = [
     "SimResult",
     "SequentialSimEngine",
     "simulate_partitioned",
+    "ALLOCATION_SCHEMES",
     "STRATEGIES",
     "simulate",
 ]

@@ -24,6 +24,7 @@ definition, Section 5.1).
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -34,6 +35,8 @@ from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.hypersonic.buffers import BufferSnapshot
 from repro.hypersonic.engine import HypersonicConfig, HypersonicEngine
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
+from repro.obs.export import summarize
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.cache import CacheModel
 from repro.simulator.metrics import LatencyAccumulator, SimResult
 
@@ -65,9 +68,12 @@ class HypersonicSimulation:
         snapshot_interval: int = 128,
         strategy_name: str = "hypersonic",
         pace: float | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.engine = HypersonicEngine(
-            pattern, num_units, config=config, stats=stats, costs=costs
+            pattern, num_units, config=config, stats=stats, costs=costs,
+            tracer=self.tracer,
         )
         self.costs = self.engine.costs
         self.cache = cache if cache is not None else CacheModel()
@@ -88,7 +94,11 @@ class HypersonicSimulation:
         self._in_flight = 0
         self._splitter_parked = False
         self._inject_times: dict[int, float] = {}
-        self._latency = LatencyAccumulator()
+        # Reservoir RNG is private to the accumulator so percentile
+        # sampling never perturbs the engine's seeded decisions.
+        self._latency = LatencyAccumulator(
+            rng=random.Random(self.engine.config.seed + 0x5EED)
+        )
         self._matches: list[Match] = []
         self._peak_memory = 0
         self._items_processed = 0
@@ -138,7 +148,9 @@ class HypersonicSimulation:
         throughput = (
             self._events_routed / total_time if total_time > 0 else 0.0
         )
-        return SimResult(
+        if self.tracer.enabled:
+            self._sample_queues(total_time)
+        result = SimResult(
             strategy=self.strategy_name,
             num_units=len(engine.units),
             events=self._events_routed,
@@ -165,6 +177,11 @@ class HypersonicSimulation:
                 ),
             },
         )
+        if self.tracer.enabled:
+            result.extra["obs"] = summarize(
+                self.tracer, total_time, unit_busy=self._unit_busy
+            )
+        return result
 
     @property
     def matches(self) -> list[Match]:
@@ -255,6 +272,11 @@ class HypersonicSimulation:
         done = time + cost
         self._unit_free[unit_id] = done
         self._unit_busy[unit_id] += cost
+        if self.tracer.enabled:
+            self.tracer.unit_busy(
+                time, cost, unit_id, selection.agent_index,
+                selection.role, selection.item.kind.value,
+            )
         unit.items_processed += 1
         self._items_processed += 1
         self._comparisons += receipt.comparisons
@@ -272,6 +294,8 @@ class HypersonicSimulation:
             self._wake_consumers_of_push(done)
         if self._items_processed % self.knobs.snapshot_interval == 0:
             self._sample_memory()
+            if self.tracer.enabled:
+                self._sample_queues(done)
 
     def _cost_of(self, receipt: Receipt) -> float:
         penalty = self.cache.comparison_penalty(receipt.scanned, receipt.scan_sq)
@@ -302,6 +326,11 @@ class HypersonicSimulation:
                 arrival = self._inject_times.get(latest_id)
                 if arrival is not None:
                     self._latency.add(done - arrival)
+                if self.tracer.enabled:
+                    self.tracer.match(
+                        done, position,
+                        done - arrival if arrival is not None else None,
+                    )
         if receipt.pushes:
             self._wake_consumers_of_push(done)
 
@@ -348,6 +377,13 @@ class HypersonicSimulation:
             del entries[:head]
             self._window_head = 0
 
+    def _sample_queues(self, now: float) -> None:
+        """Record the depth of every agent channel at virtual time *now*."""
+        tracer = self.tracer
+        for index, agent in enumerate(self.engine.agents):
+            for channel, depth in agent.channel_depths():
+                tracer.queue_depth(now, index, channel, depth)
+
     def _sample_memory(self) -> None:
         snapshot = BufferSnapshot.merge(
             [agent.snapshot() for agent in self.engine.agents]
@@ -375,6 +411,7 @@ def simulate_hypersonic(
     inflight_cap: int = 96,
     strategy_name: str = "hypersonic",
     pace: float | None = None,
+    tracer: Tracer | None = None,
 ) -> SimResult:
     """Convenience wrapper: build, simulate, return the result."""
     simulation = HypersonicSimulation(
@@ -387,5 +424,6 @@ def simulate_hypersonic(
         inflight_cap=inflight_cap,
         strategy_name=strategy_name,
         pace=pace,
+        tracer=tracer,
     )
     return simulation.run(list(events))

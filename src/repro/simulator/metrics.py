@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 
 __all__ = ["LatencyAccumulator", "SimResult"]
@@ -11,31 +12,39 @@ __all__ = ["LatencyAccumulator", "SimResult"]
 class LatencyAccumulator:
     """Streaming mean/percentile tracker for detection latencies.
 
-    Keeps a bounded reservoir for percentiles so multi-million-match runs
-    stay in constant memory.
+    ``mean``/``max`` are exact.  Percentiles come from a bounded uniform
+    reservoir (Vitter's Algorithm R) so multi-million-match runs stay in
+    constant memory: once full, the *n*-th sample replaces a random
+    reservoir slot with probability ``capacity / n``, which keeps every
+    sample seen so far equally likely to be resident.  Pass the run's
+    seeded ``rng`` for deterministic results.
     """
 
-    __slots__ = ("count", "total", "max_value", "_reservoir", "_capacity", "_stride")
+    __slots__ = ("count", "total", "max_value", "_reservoir", "_capacity",
+                 "_rng")
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096,
+                 rng: random.Random | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.count = 0
         self.total = 0.0
         self.max_value = 0.0
         self._reservoir: list[float] = []
         self._capacity = capacity
-        self._stride = 1
+        self._rng = rng if rng is not None else random.Random(0x5EED)
 
     def add(self, value: float) -> None:
         self.count += 1
         self.total += value
         if value > self.max_value:
             self.max_value = value
-        if self.count % self._stride == 0:
+        if len(self._reservoir) < self._capacity:
             self._reservoir.append(value)
-            if len(self._reservoir) >= self._capacity:
-                # Decimate: keep every other sample, double the stride.
-                self._reservoir = self._reservoir[::2]
-                self._stride *= 2
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:

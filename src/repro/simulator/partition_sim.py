@@ -20,6 +20,7 @@ match set.
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -29,6 +30,8 @@ from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters
 from repro.baselines.partitioned import Partition, PartitionedEngine
 from repro.engine.sequential import SequentialEngine
+from repro.obs.export import summarize
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.cache import CacheModel
 from repro.simulator.metrics import LatencyAccumulator, SimResult
 
@@ -88,10 +91,18 @@ def simulate_partitioned(
     strategy_name: str | None = None,
     reported_units: int | None = None,
     pace: float | None = None,
+    seed: int = 7,
+    tracer: Tracer | None = None,
 ) -> SimResult:
-    """Simulate *engine* (a partition strategy) over *events*."""
+    """Simulate *engine* (a partition strategy) over *events*.
+
+    In traces and the obs summary, each partition run appears as an
+    "agent" (its partition index); the dispatcher's in-flight task count
+    is sampled as agent ``-1``'s ``inflight`` channel.
+    """
     costs = costs if costs is not None else CostParameters()
     cache = cache if cache is not None else CacheModel()
+    tracer = tracer if tracer is not None else NULL_TRACER
     event_list = list(events)
     name = strategy_name or type(engine).__name__.replace("Engine", "").lower()
 
@@ -103,7 +114,9 @@ def simulate_partitioned(
     num_units = engine.num_units
     unit_loads = [0.0] * num_units
     state = _SimState(unit_free=[0.0] * num_units, unit_busy=[0.0] * num_units)
-    latency = LatencyAccumulator()
+    # Reservoir RNG is private to the accumulator so percentile sampling
+    # never perturbs assignment decisions.
+    latency = LatencyAccumulator(rng=random.Random(seed + 0x5EED))
     matches: list[Match] = []
     peak_memory = 0
     total_comparisons = 0
@@ -114,7 +127,7 @@ def simulate_partitioned(
     active: list[_ActiveRun] = []
 
     def task(run: _ActiveRun, cost: float, arrival: float,
-             owned_matches: list[Match]) -> None:
+             owned_matches: list[Match], kind: str = "event") -> None:
         nonlocal total_work, total_tasks
         start = max(arrival, state.unit_free[run.unit])
         done = start + cost
@@ -125,9 +138,15 @@ def simulate_partitioned(
         state.outstanding += 1
         total_work += cost
         total_tasks += 1
+        if tracer.enabled:
+            tracer.unit_busy(
+                start, cost, run.unit, run.partition.index, "task", kind
+            )
         for match in owned_matches:
             matches.append(match)
             latency.add(done - arrival)
+            if tracer.enabled:
+                tracer.match(done, run.partition.index, done - arrival)
 
     def event_cost(run: _ActiveRun) -> float:
         nonlocal total_comparisons
@@ -163,6 +182,8 @@ def simulate_partitioned(
         ):
             partition = partitions[next_partition]
             unit = engine.assign_unit(partition, unit_loads)
+            if tracer.enabled:
+                tracer.partition_start(inject, partition.index, unit)
             begin = position
             active.append(
                 _ActiveRun(
@@ -185,7 +206,7 @@ def simulate_partitioned(
                 ]
                 if closing:
                     cost = event_cost(run) + len(closing) * costs.queue_push
-                    task(run, cost, inject, closing)
+                    task(run, cost, inject, closing, kind="close")
             else:
                 still_active.append(run)
         active = still_active
@@ -202,6 +223,8 @@ def simulate_partitioned(
             task(run, cost, inject, owned)
 
         if position % snapshot_interval == 0:
+            if tracer.enabled:
+                tracer.queue_depth(inject, -1, "inflight", state.outstanding)
             # Shared-heap accounting (see EXPERIMENTS.md): raw in-window
             # payload counted once system-wide; each replica pays for its
             # own derived state (partial matches and buffers) in pointers.
@@ -229,14 +252,14 @@ def simulate_partitioned(
             match for match in run.engine.close() if run.partition.owns(match)
         ]
         cost = event_cost(run) + len(closing) * costs.queue_push
-        task(run, cost, inject, closing)
+        task(run, cost, inject, closing, kind="close")
 
     total_time = max(
         [inject] + [free for free in state.unit_free]
     )
     throughput = len(event_list) / total_time if total_time > 0 else 0.0
     dedup = {match.key for match in matches}
-    return SimResult(
+    result = SimResult(
         strategy=name,
         num_units=reported_units if reported_units is not None else num_units,
         events=len(event_list),
@@ -255,6 +278,11 @@ def simulate_partitioned(
         unit_busy=list(state.unit_busy),
         extra={"partitions": len(partitions)},
     )
+    if tracer.enabled:
+        result.extra["obs"] = summarize(
+            tracer, total_time, unit_busy=state.unit_busy
+        )
+    return result
 
 
 def _shared_window_payload(position: int, event_list: Sequence[Event],

@@ -31,14 +31,18 @@ from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.baselines.llsf import JSQEngine, LLSFEngine, RREngine
 from repro.baselines.rip import RIPEngine
 from repro.hypersonic.engine import HypersonicConfig
+from repro.obs.tracer import Tracer
 from repro.simulator.cache import CacheModel
 from repro.simulator.hypersonic_sim import simulate_hypersonic
 from repro.simulator.metrics import SimResult
 from repro.simulator.partition_sim import SequentialSimEngine, simulate_partitioned
 
-__all__ = ["STRATEGIES", "simulate"]
+__all__ = ["STRATEGIES", "ALLOCATION_SCHEMES", "simulate"]
 
 STRATEGIES = ("sequential", "hypersonic", "state", "rip", "rr", "jsq", "llsf")
+
+#: Outer allocation schemes accepted by the ``allocation`` keyword.
+ALLOCATION_SCHEMES = ("cost", "equal")
 
 
 def simulate(
@@ -60,6 +64,7 @@ def simulate(
     measure_latency: bool = False,
     latency_load: float = 0.8,
     pace: float | None = None,
+    tracer: Tracer | None = None,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
 
@@ -68,10 +73,36 @@ def simulate(
     measured; its latency figures replace the saturated ones (detection
     latency is only meaningful below saturation — the paper's latency
     experiments likewise run the system at sustainable rates).
+
+    A :class:`~repro.obs.Tracer` records structured events against the
+    virtual clock and attaches the per-agent summary to
+    ``SimResult.extra["obs"]``.  When two passes run (``measure_latency``),
+    the tracer observes the capacity pass only — reusing one recorder
+    across both passes would interleave two unrelated timelines.
     """
     if strategy not in STRATEGIES:
         raise SimulationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if allocation not in ALLOCATION_SCHEMES:
+        raise SimulationError(
+            f"unknown allocation scheme {allocation!r}; expected one of "
+            f"{ALLOCATION_SCHEMES}"
+        )
+    if num_cores < 1:
+        raise SimulationError(f"num_cores must be >= 1, got {num_cores}")
+    if chunk_size < 1:
+        raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not 0.0 < latency_load < 1.0:
+        raise SimulationError(
+            "latency_load must be in the open interval (0, 1), got "
+            f"{latency_load}"
+        )
+    if pace is not None and pace <= 0:
+        raise SimulationError(f"pace must be > 0, got {pace}")
+    if inflight_cap is not None and inflight_cap < 1:
+        raise SimulationError(
+            f"inflight_cap must be >= 1, got {inflight_cap}"
         )
     event_list = list(events)
     if inflight_cap is None:
@@ -87,7 +118,7 @@ def simulate(
             chunk_size=chunk_size, allocation=allocation,
             role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-            pace=pace,
+            pace=pace, tracer=tracer,
         )
     capacity = _run_once(
         strategy, pattern, event_list, num_cores,
@@ -95,7 +126,7 @@ def simulate(
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-        pace=None,
+        pace=None, tracer=tracer,
     )
     if not measure_latency or capacity.throughput <= 0:
         return capacity
@@ -106,7 +137,7 @@ def simulate(
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-        pace=pace,
+        pace=pace, tracer=None,
     )
     capacity.avg_latency = paced.avg_latency
     capacity.p95_latency = paced.p95_latency
@@ -132,6 +163,7 @@ def _run_once(
     force_fusion_pairs: tuple[tuple[int, int], ...],
     seed: int,
     pace: float | None,
+    tracer: Tracer | None,
 ) -> SimResult:
     event_list = list(events)
     if strategy == "sequential":
@@ -144,6 +176,8 @@ def _run_once(
             strategy_name="sequential",
             reported_units=1,
             pace=pace,
+            seed=seed,
+            tracer=tracer,
         )
     if strategy in ("hypersonic", "state"):
         if strategy == "state":
@@ -172,6 +206,7 @@ def _run_once(
                 inflight_cap=min(inflight_cap, state_cap),
                 strategy_name="state",
                 pace=pace,
+                tracer=tracer,
             )
         config = HypersonicConfig(
             role_dynamic=role_dynamic,
@@ -192,6 +227,7 @@ def _run_once(
             inflight_cap=inflight_cap,
             strategy_name="hypersonic",
             pace=pace,
+            tracer=tracer,
         )
     if strategy == "rip":
         engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)
@@ -209,4 +245,6 @@ def _run_once(
         inflight_cap=inflight_cap,
         strategy_name=strategy,
         pace=pace,
+        seed=seed,
+        tracer=tracer,
     )

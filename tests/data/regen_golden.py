@@ -1,0 +1,36 @@
+"""Regenerate golden_chrome_trace.json from the fixed tiny workload.
+
+Run from the repo root after a deliberate change to the exporter format
+or to the simulator's traced behaviour:
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+and review the diff before committing.
+"""
+
+import json
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).resolve()
+sys.path.insert(0, str(_HERE.parents[2]))  # repo root, for tests.conftest
+sys.path.insert(0, str(_HERE.parents[1]))  # tests/, for test_obs
+
+from test_obs import tiny_trace  # noqa: E402
+
+from repro.obs import chrome_trace  # noqa: E402
+
+
+def main() -> None:
+    tracer, _result = tiny_trace()
+    out = pathlib.Path(__file__).parent / "golden_chrome_trace.json"
+    out.write_text(
+        json.dumps(chrome_trace(tracer), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    print("regenerating golden trace; review the diff before committing")
+    main()

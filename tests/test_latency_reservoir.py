@@ -1,0 +1,102 @@
+"""Property-style tests for the uniform-reservoir LatencyAccumulator.
+
+The accumulator's percentiles come from a bounded uniform reservoir
+(Algorithm R); these tests drive it with 10k+ random samples from several
+distributions/seeds and compare against exact ``statistics.quantiles``.
+The tolerance is expressed in *rank* space: the reservoir estimate of the
+q-th percentile must land between the exact (q-eps)- and (q+eps)-th
+percentiles, which is distribution-independent.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.simulator.metrics import LatencyAccumulator
+
+N_SAMPLES = 12_000
+RANK_TOLERANCE = 0.03  # capacity 4096 => p95 rank stderr ~0.0034; ~9 sigma
+
+
+def _draw(rng: random.Random, shape: str, n: int) -> list[float]:
+    if shape == "uniform":
+        return [rng.uniform(0.0, 1000.0) for _ in range(n)]
+    if shape == "exponential":
+        return [rng.expovariate(1 / 50.0) for _ in range(n)]
+    if shape == "lognormal":
+        return [rng.lognormvariate(3.0, 1.2) for _ in range(n)]
+    if shape == "drifting":
+        # Latency ramping up over the run — the regime the old strided
+        # decimation biased (early samples over-weighted => p95 too low).
+        return [rng.uniform(0.0, 10.0) + 0.02 * i for i in range(n)]
+    raise AssertionError(shape)
+
+
+def _exact_percentile(data: list[float], q: float) -> float:
+    ordered = sorted(data)
+    index = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+class TestReservoirAgainstExactQuantiles:
+    @pytest.mark.parametrize("shape", [
+        "uniform", "exponential", "lognormal", "drifting",
+    ])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_percentiles_within_rank_tolerance(self, shape, seed):
+        rng = random.Random(seed)
+        data = _draw(rng, shape, N_SAMPLES)
+        acc = LatencyAccumulator(rng=random.Random(seed + 100))
+        for value in data:
+            acc.add(value)
+        # Exact reference grid via statistics.quantiles (1000 cut points).
+        grid = statistics.quantiles(data, n=1000, method="inclusive")
+        for q in (0.5, 0.9, 0.95, 0.99):
+            estimate = acc.percentile(q)
+            low_rank = max(0.001, q - RANK_TOLERANCE)
+            high_rank = min(0.999, q + RANK_TOLERANCE)
+            low = grid[int(low_rank * 1000) - 1]
+            high = grid[int(high_rank * 1000) - 1]
+            assert low <= estimate <= high, (
+                f"{shape}/seed {seed}: p{q*100:.0f} estimate {estimate} "
+                f"outside exact rank band [{low}, {high}]"
+            )
+
+    def test_mean_and_max_stay_exact(self):
+        rng = random.Random(7)
+        data = _draw(rng, "lognormal", N_SAMPLES)
+        acc = LatencyAccumulator(capacity=256, rng=random.Random(7))
+        for value in data:
+            acc.add(value)
+        assert acc.count == N_SAMPLES
+        assert acc.mean == pytest.approx(statistics.fmean(data))
+        assert acc.max_value == max(data)
+
+    def test_reservoir_bounded_and_uniform_fill(self):
+        acc = LatencyAccumulator(capacity=64, rng=random.Random(0))
+        for value in range(10_000):
+            acc.add(float(value))
+        assert len(acc._reservoir) == 64
+
+    def test_deterministic_given_rng_seed(self):
+        def run() -> list[float]:
+            acc = LatencyAccumulator(capacity=128, rng=random.Random(42))
+            data_rng = random.Random(1)
+            for _ in range(5000):
+                acc.add(data_rng.random())
+            return list(acc._reservoir)
+
+        assert run() == run()
+
+    def test_small_counts_are_exact(self):
+        acc = LatencyAccumulator(capacity=4096, rng=random.Random(0))
+        data = [float(v) for v in range(100)]
+        for value in data:
+            acc.add(value)
+        # Below capacity the reservoir holds everything: percentile exact.
+        assert acc.percentile(0.95) == _exact_percentile(data, 0.95)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LatencyAccumulator(capacity=0)

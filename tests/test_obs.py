@@ -1,0 +1,217 @@
+"""Tests for the observability layer (repro.obs) and its simulator wiring."""
+
+import json
+import pathlib
+
+import pytest
+
+from tests.conftest import make_stream
+from repro.core import Pattern
+from repro.obs import (
+    NULL_TRACER,
+    TraceKind,
+    TraceRecorder,
+    chrome_trace,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.simulator import simulate
+
+PATTERN = Pattern.sequence(["A", "B", "C"], window=6.0)
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_chrome_trace.json"
+
+
+def tiny_trace() -> tuple[TraceRecorder, object]:
+    """The fixed tiny workload behind the golden-file test: fully
+    deterministic, small enough to diff by eye."""
+    events = make_stream(num_events=30, seed=9)
+    tracer = TraceRecorder()
+    result = simulate("hypersonic", PATTERN, events, num_cores=3,
+                      tracer=tracer)
+    return tracer, result
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        # Every hook is a no-op returning None.
+        assert NULL_TRACER.unit_busy(0.0, 1.0, 0, 0, "event", "event") is None
+        assert NULL_TRACER.queue_depth(0.0, 0, "ES", 3) is None
+        assert NULL_TRACER.migration(0.0, 1, 0, 1) is None
+
+    def test_disabled_run_matches_traced_run(self):
+        events = make_stream(num_events=200, seed=21)
+        plain = simulate("hypersonic", PATTERN, events, num_cores=4)
+        traced = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=TraceRecorder())
+        assert traced.matches == plain.matches
+        assert traced.throughput == plain.throughput
+        assert traced.total_time == plain.total_time
+        assert traced.unit_busy == plain.unit_busy
+        assert "obs" not in plain.extra
+        assert "obs" in traced.extra
+
+
+class TestObsSummary:
+    def test_busy_fractions_consistent_with_unit_busy(self):
+        events = make_stream(num_events=300, seed=22)
+        tracer = TraceRecorder()
+        result = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=tracer)
+        obs = result.extra["obs"]
+        assert obs["total_time"] == result.total_time
+        for unit, busy in enumerate(result.unit_busy):
+            row = obs["units"][unit]
+            assert row["busy"] == busy
+            assert row["busy_fraction"] == pytest.approx(
+                busy / result.total_time
+            )
+        # Traced spans must account for exactly the unit_busy totals.
+        span_busy = {}
+        for event in tracer.events:
+            if event.kind == TraceKind.UNIT_BUSY:
+                span_busy[event.unit] = span_busy.get(event.unit, 0.0) + event.dur
+        for unit, busy in enumerate(result.unit_busy):
+            assert span_busy.get(unit, 0.0) == pytest.approx(busy)
+
+    def test_queue_depth_stats_present_per_channel(self):
+        events = make_stream(num_events=300, seed=23)
+        tracer = TraceRecorder()
+        result = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=tracer)
+        agents = result.extra["obs"]["agents"]
+        assert agents  # at least one agent row
+        for row in agents.values():
+            for stats in row["channels"].values():
+                assert stats["samples"] >= 1
+                assert stats["max_depth"] >= stats["mean_depth"] >= 0.0
+
+    def test_splitter_counts_surface(self):
+        events = make_stream(num_events=300, seed=24)  # contains D/X types
+        tracer = TraceRecorder()
+        result = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=tracer)
+        splitter = result.extra["obs"]["splitter"]
+        assert splitter["routed"] > 0
+        assert splitter["dropped"] > 0  # D and X are foreign to the pattern
+        assert set(splitter["dropped_by_type"]) == {"D", "X"}
+        assert sum(splitter["dropped_by_type"].values()) == splitter["dropped"]
+
+    def test_partition_strategies_emit_obs_too(self):
+        events = make_stream(num_events=200, seed=25)
+        for strategy in ("sequential", "rip", "llsf"):
+            tracer = TraceRecorder()
+            result = simulate(strategy, PATTERN, events, num_cores=4,
+                              tracer=tracer)
+            obs = result.extra["obs"]
+            assert obs["counts"][TraceKind.UNIT_BUSY] > 0
+            assert obs["matches"]["count"] == result.matches or (
+                # rip/llsf may emit ownership duplicates before dedup
+                obs["matches"]["count"] >= result.matches
+            )
+
+    def test_alloc_plan_recorded(self):
+        tracer, result = tiny_trace()
+        assert result.extra["obs"]["counts"][TraceKind.ALLOC_PLAN] == 1
+        plan = next(e for e in tracer.events
+                    if e.kind == TraceKind.ALLOC_PLAN)
+        assert sum(plan.args["per_agent"]) == 3
+        assert plan.args["scheme"] == "cost"
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self):
+        tracer, _result = tiny_trace()
+        trace = chrome_trace(tracer)
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        records = trace["traceEvents"]
+        phases = {record["ph"] for record in records}
+        assert {"M", "X", "C"} <= phases
+        for record in records:
+            json.dumps(record)  # every record JSON-serialisable
+            if record["ph"] == "X":
+                assert record["dur"] >= 0.0
+                assert record["pid"] == 1
+
+    def test_chrome_trace_golden_file(self):
+        """The exporter's output on the tiny workload is locked in; a
+        diff means either the simulator's traced behaviour or the export
+        format changed — both must be deliberate.  Regenerate with:
+        PYTHONPATH=src python tests/data/regen_golden.py
+        """
+        tracer, _result = tiny_trace()
+        produced = chrome_trace(tracer)
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert produced == golden
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        tracer, _result = tiny_trace()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == chrome_trace(tracer)
+
+    def test_write_jsonl(self, tmp_path):
+        tracer, _result = tiny_trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), tracer)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(tracer.events)
+        first = json.loads(lines[0])
+        assert "kind" in first and "ts" in first
+
+    def test_summarize_accepts_plain_event_list(self):
+        tracer, result = tiny_trace()
+        from_list = summarize(list(tracer.events), result.total_time)
+        from_recorder = summarize(tracer, result.total_time)
+        assert from_list == from_recorder
+
+
+class TestHarnessHook:
+    def test_compare_strategies_tracer_factory(self):
+        from repro.bench.harness import compare_strategies
+
+        events = make_stream(num_events=200, seed=26)
+        recorders = {}
+
+        def factory(name):
+            recorders[name] = TraceRecorder()
+            return recorders[name]
+
+        results = compare_strategies(
+            PATTERN, events, cores=4,
+            strategies=("sequential", "hypersonic"),
+            tracer_factory=factory,
+        )
+        assert set(recorders) == {"sequential", "hypersonic"}
+        for name, result in results.items():
+            assert "obs" in result.extra
+            assert len(recorders[name].events) > 0
+
+
+class TestCliTrace:
+    def test_simulate_command_writes_traces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = tmp_path / "stream.csv"
+        code = main([
+            "generate", "stocks", str(stream), "--events", "400",
+            "--types", "4",
+        ])
+        assert code == 0
+        trace = tmp_path / "trace.json"
+        code = main([
+            "simulate", "stocks", str(stream),
+            "--length", "3", "--cores", "4",
+            "--strategies", "sequential,hypersonic",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace (hypersonic)" in out
+        for strategy in ("sequential", "hypersonic"):
+            path = tmp_path / f"trace-{strategy}.json"
+            assert path.exists()
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            assert loaded["traceEvents"]

@@ -1,0 +1,69 @@
+"""Unit tests for runner.simulate argument validation.
+
+These lock in the bugfix where a typo like ``allocation="costs"`` sailed
+through ``simulate()`` and only blew up deep inside ``allocate_units``,
+and where nonsensical pacing/chunking knobs silently skewed the metrics.
+"""
+
+import pytest
+
+from tests.conftest import make_stream
+from repro.core import Pattern
+from repro.core.errors import SimulationError
+from repro.simulator import ALLOCATION_SCHEMES, simulate
+
+PATTERN = Pattern.sequence(["A", "B", "C"], window=6.0)
+EVENTS = make_stream(num_events=50, seed=11)
+
+
+class TestSimulateValidation:
+    def test_unknown_allocation_rejected_up_front(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=4,
+                     allocation="costs")
+        message = str(err.value)
+        assert "costs" in message
+        for accepted in ALLOCATION_SCHEMES:
+            assert accepted in message
+
+    def test_allocation_validated_for_every_strategy(self):
+        # Even strategies that ignore the knob reject garbage, so a typo
+        # cannot hide behind the strategy choice.
+        with pytest.raises(SimulationError):
+            simulate("sequential", PATTERN, EVENTS, num_cores=1,
+                     allocation="equql")
+
+    @pytest.mark.parametrize("chunk_size", [0, -5])
+    def test_nonpositive_chunk_size_rejected(self, chunk_size):
+        with pytest.raises(SimulationError) as err:
+            simulate("rip", PATTERN, EVENTS, num_cores=4,
+                     chunk_size=chunk_size)
+        assert str(chunk_size) in str(err.value)
+
+    @pytest.mark.parametrize("latency_load", [0.0, -0.1, 1.0, 1.5])
+    def test_latency_load_outside_open_interval_rejected(self, latency_load):
+        with pytest.raises(SimulationError) as err:
+            simulate("sequential", PATTERN, EVENTS, num_cores=1,
+                     latency_load=latency_load)
+        assert "(0, 1)" in str(err.value)
+
+    @pytest.mark.parametrize("pace", [0.0, -1.0])
+    def test_nonpositive_pace_rejected(self, pace):
+        with pytest.raises(SimulationError):
+            simulate("sequential", PATTERN, EVENTS, num_cores=1, pace=pace)
+
+    def test_nonpositive_num_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=0)
+
+    def test_nonpositive_inflight_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate("sequential", PATTERN, EVENTS, num_cores=1,
+                     inflight_cap=0)
+
+    def test_valid_arguments_still_accepted(self):
+        result = simulate(
+            "hypersonic", PATTERN, EVENTS, num_cores=4,
+            allocation="equal", chunk_size=16, latency_load=0.5,
+        )
+        assert result.matches >= 0

@@ -2,11 +2,8 @@
 
 import random
 
-import pytest
-
 from repro.core import Event, EventType, Pattern, compile_pattern
 from repro.hypersonic import ItemKind, Roles, WorkQueue, WorkItem
-from repro.hypersonic.agent import AgentCore
 from repro.hypersonic.splitter import RouteTarget, Splitter
 from repro.hypersonic.workers import ExecutionUnit, WorkerPolicy, assign_roles
 
@@ -61,6 +58,26 @@ class TestSplitter:
         assert splitter.watermark == float("-inf")
         splitter.route(ev(X, 3.0))  # even dropped events advance time
         assert splitter.watermark == 3.0
+
+    def test_watermark_advances_on_dropped_foreign_type(self):
+        """Regression lock on the intended semantics: dropped foreign-type
+        events MUST advance the watermark (it tracks global input-stream
+        progress, which the negation quarantine release depends on — a
+        tail of foreign types must not withhold guard-clean matches)."""
+        splitter, _ = build_splitter(Pattern.sequence(["A", "B"], window=5.0))
+        q = WorkQueue("event")
+        splitter.add_route("B", RouteTarget(q, ItemKind.EVENT))
+        splitter.route(ev(B, 1.0))
+        assert splitter.watermark == 1.0
+        receipt = splitter.route(ev(X, 7.5))
+        assert receipt.dropped
+        assert splitter.watermark == 7.5  # advanced by the dropped event
+        assert splitter.events_dropped == 1
+        assert splitter.drops_by_type == {"X": 1}
+        # A later routed event keeps advancing it monotonically.
+        splitter.route(ev(B, 8.0))
+        assert splitter.watermark == 8.0
+        assert splitter.events_routed == 2
 
     def test_seal(self):
         splitter, _ = build_splitter(Pattern.sequence(["A", "B"], window=5.0))
