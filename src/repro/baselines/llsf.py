@@ -28,7 +28,8 @@ from typing import Iterator, Sequence
 
 from repro.core.events import Event
 from repro.core.patterns import Pattern
-from repro.baselines.partitioned import Partition, PartitionedEngine
+from repro.core.streams import Lookahead
+from repro.baselines.partitioned import Partition, PartitionSpan, PartitionedEngine
 
 __all__ = ["WindowSegmentEngine", "RREngine", "JSQEngine", "LLSFEngine"]
 
@@ -68,12 +69,63 @@ class WindowSegmentEngine(PartitionedEngine):
                 own_end_id=-1,
             )
 
+    def spans(self, stream: Lookahead) -> Iterator[PartitionSpan]:
+        """Streaming equivalent of :meth:`partitions`.
+
+        Segment ``k``'s span ends where segment ``k + 2`` begins, so a
+        span is final as soon as the first event two segments ahead is
+        seen — a lookahead of at most two windows of events.  Empty
+        segments inherit the next segment's start (the gap-filling of the
+        batch path) and are skipped when that leaves them without events.
+        """
+        first = stream.get(0)
+        if first is None:
+            return
+        window = self.pattern.window
+        origin = first.timestamp
+
+        def emit(segment: int, starts: list[int],
+                 end: int) -> Iterator[PartitionSpan]:
+            begin = starts[segment]
+            if begin >= end:
+                return
+            yield PartitionSpan(
+                index=segment,
+                begin=begin,
+                end=end,
+                size=end - begin,
+                own_start=origin + segment * window,
+                own_end=origin + (segment + 1) * window,
+                own_start_id=-1,
+                own_end_id=-1,
+            )
+
+        starts = [0]           # starts[k] = first position with segment >= k
+        last_segment = 0
+        emitted = 0            # next segment index to consider
+        position = 1
+        while True:
+            event = stream.get(position)
+            if event is None:
+                break
+            segment = int((event.timestamp - origin) / window)
+            if segment > last_segment:
+                starts.extend([position] * (segment - last_segment))
+                last_segment = segment
+                while emitted + 2 <= last_segment:
+                    yield from emit(emitted, starts, starts[emitted + 2])
+                    emitted += 1
+            position += 1
+        total = position
+        for segment in range(emitted, last_segment + 1):
+            end = starts[segment + 2] if segment + 2 <= last_segment else total
+            yield from emit(segment, starts, end)
+
 
 class RREngine(WindowSegmentEngine):
     """Round-robin segment assignment."""
 
-    def assign_unit(self, partition: Partition,
-                    unit_loads: list[float]) -> int:
+    def assign_unit(self, partition, unit_loads: list[float]) -> int:
         return partition.index % self.num_units
 
 
@@ -88,10 +140,9 @@ class JSQEngine(WindowSegmentEngine):
         super().__init__(pattern, num_units)
         self._pending = [0] * num_units
 
-    def assign_unit(self, partition: Partition,
-                    unit_loads: list[float]) -> int:
+    def assign_unit(self, partition, unit_loads: list[float]) -> int:
         unit = min(range(self.num_units), key=lambda i: self._pending[i])
-        self._pending[unit] += len(partition.events)
+        self._pending[unit] += partition.size
         return unit
 
 
@@ -103,6 +154,5 @@ class LLSFEngine(WindowSegmentEngine):
     the greedy heuristic Xiao et al. found strongest.
     """
 
-    def assign_unit(self, partition: Partition,
-                    unit_loads: list[float]) -> int:
+    def assign_unit(self, partition, unit_loads: list[float]) -> int:
         return min(range(self.num_units), key=lambda i: unit_loads[i])

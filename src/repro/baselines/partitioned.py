@@ -16,14 +16,22 @@ Concrete strategies provide:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
+from repro.core.streams import Lookahead
 from repro.engine.sequential import SequentialEngine
 
-__all__ = ["Partition", "PartitionMetrics", "PartitionedEngine"]
+__all__ = ["Partition", "PartitionSpan", "PartitionMetrics", "PartitionedEngine"]
+
+
+def _owns_key(match: Match) -> tuple[float, int]:
+    earliest_event = min(
+        match.events(), key=lambda e: (e.timestamp, e.event_id)
+    )
+    return (earliest_event.timestamp, earliest_event.event_id)
 
 
 @dataclass(frozen=True)
@@ -41,11 +49,50 @@ class Partition:
     own_start_id: int = -1
     own_end_id: int = 1 << 62
 
+    @property
+    def size(self) -> int:
+        """Number of input events — the queue-length proxy JSQ balances on."""
+        return len(self.events)
+
     def owns(self, match: Match) -> bool:
-        earliest_event = min(
-            match.events(), key=lambda e: (e.timestamp, e.event_id)
+        key = _owns_key(match)
+        return (self.own_start, self.own_start_id) <= key < (
+            self.own_end,
+            self.own_end_id,
         )
-        key = (earliest_event.timestamp, earliest_event.event_id)
+
+
+@dataclass(frozen=True)
+class PartitionSpan:
+    """A partition described by stream *positions* instead of materialized
+    event tuples — the streaming-simulation counterpart of
+    :class:`Partition`.
+
+    ``begin`` is the stream position of the partition's first input event;
+    ``end`` is the exclusive position past its last (``None`` meaning the
+    partition runs to the end of the stream); ``size`` is its input-event
+    count (``end - begin`` when bounded).  Ownership semantics are exactly
+    those of :class:`Partition.owns`.  Spans are produced in ``begin``
+    order by :meth:`PartitionedEngine.spans` with bounded lookahead, so the
+    simulator never needs the whole stream in memory.
+    """
+
+    index: int
+    begin: int
+    end: int | None
+    size: int
+    own_start: float
+    own_end: float
+    own_start_id: int = -1
+    own_end_id: int = 1 << 62
+
+    def contains(self, position: int) -> bool:
+        return self.begin <= position and (
+            self.end is None or position < self.end
+        )
+
+    def owns(self, match: Match) -> bool:
+        key = _owns_key(match)
         return (self.own_start, self.own_start_id) <= key < (
             self.own_end,
             self.own_end_id,
@@ -94,9 +141,47 @@ class PartitionedEngine:
     def partitions(self, events: Sequence[Event]) -> Iterable[Partition]:
         raise NotImplementedError
 
-    def assign_unit(self, partition: Partition,
+    def assign_unit(self, partition: "Partition | PartitionSpan",
                     unit_loads: list[float]) -> int:
         raise NotImplementedError
+
+    def spans(self, stream: Lookahead) -> Iterator[PartitionSpan]:
+        """Yield :class:`PartitionSpan`\\ s in ``begin`` order from a
+        single-pass stream.
+
+        The base implementation drains *stream* and delegates to
+        :meth:`partitions` — correct for any subclass, but it materializes
+        the whole stream.  The built-in strategies override this with
+        bounded-lookahead generators (a chunk plus a window for RIP, two
+        windows for the window-segment family), which is what keeps the
+        partition simulator's memory bounded by the window rather than the
+        stream length.
+        """
+        events: list[Event] = []
+        position = 0
+        while True:
+            event = stream.get(position)
+            if event is None:
+                break
+            events.append(event)
+            position += 1
+        index_of = {event.event_id: i for i, event in enumerate(events)}
+        parts = sorted(
+            self.partitions(events),
+            key=lambda p: index_of[p.events[0].event_id],
+        )
+        for partition in parts:
+            begin = index_of[partition.events[0].event_id]
+            yield PartitionSpan(
+                index=partition.index,
+                begin=begin,
+                end=begin + len(partition.events),
+                size=len(partition.events),
+                own_start=partition.own_start,
+                own_end=partition.own_end,
+                own_start_id=partition.own_start_id,
+                own_end_id=partition.own_end_id,
+            )
 
     # -- execution -------------------------------------------------------- #
 

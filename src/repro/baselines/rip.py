@@ -17,7 +17,8 @@ from typing import Iterator, Sequence
 
 from repro.core.events import Event
 from repro.core.patterns import Pattern
-from repro.baselines.partitioned import Partition, PartitionedEngine
+from repro.core.streams import Lookahead
+from repro.baselines.partitioned import Partition, PartitionSpan, PartitionedEngine
 
 __all__ = ["RIPEngine"]
 
@@ -55,6 +56,44 @@ class RIPEngine(PartitionedEngine):
                 own_end_id=last_owned.event_id + 1,
             )
 
-    def assign_unit(self, partition: Partition,
-                    unit_loads: list[float]) -> int:
+    def spans(self, stream: Lookahead) -> Iterator[PartitionSpan]:
+        """Streaming equivalent of :meth:`partitions`: lookahead is one
+        chunk plus one window of events per span."""
+        window = self.pattern.window
+        chunk = self.chunk_size
+        index = 0
+        start = 0
+        while True:
+            first = stream.get(start)
+            if first is None:
+                return
+            end = start
+            last_owned = first
+            while end < start + chunk:
+                event = stream.get(end)
+                if event is None:
+                    break
+                last_owned = event
+                end += 1
+            horizon = last_owned.timestamp + window
+            extended_end = end
+            while True:
+                event = stream.get(extended_end)
+                if event is None or event.timestamp > horizon:
+                    break
+                extended_end += 1
+            yield PartitionSpan(
+                index=index,
+                begin=start,
+                end=extended_end,
+                size=extended_end - start,
+                own_start=first.timestamp,
+                own_start_id=first.event_id,
+                own_end=last_owned.timestamp,
+                own_end_id=last_owned.event_id + 1,
+            )
+            index += 1
+            start += chunk
+
+    def assign_unit(self, partition, unit_loads: list[float]) -> int:
         return partition.index % self.num_units

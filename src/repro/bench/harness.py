@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.events import Event
+from repro.core.streams import ListSource, WorkloadSource, as_source
 from repro.obs.tracer import Tracer
 from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters
@@ -236,9 +237,18 @@ def build_query(
     raise ValueError(f"unknown dataset {dataset!r}")
 
 
+def _replayable(events: "Iterable[Event] | WorkloadSource") -> WorkloadSource:
+    """Coerce to a source the grid can replay once per strategy,
+    materializing single-pass inputs exactly once."""
+    source = as_source(events)
+    if not source.replayable:
+        source = ListSource(list(source))
+    return source
+
+
 def compare_strategies(
     pattern: Pattern,
-    events: Sequence[Event],
+    events: "Iterable[Event] | WorkloadSource",
     cores: int,
     strategies: Sequence[str] = COMPARED_STRATEGIES,
     scale: BenchScale = DEFAULT_SCALE,
@@ -261,6 +271,7 @@ def compare_strategies(
     """
     cache = simulate_kwargs.pop("cache", default_cache())
     costs = simulate_kwargs.pop("costs", default_costs())
+    events = _replayable(events)
     results: dict[str, SimResult] = {}
     for strategy in strategies:
         kwargs = dict(simulate_kwargs)
@@ -290,7 +301,7 @@ def compare_strategies(
 
 def paced_latencies(
     pattern: Pattern,
-    events: Sequence[Event],
+    events: "Iterable[Event] | WorkloadSource",
     cores: int,
     strategies: Sequence[str] = ("hypersonic", "rip", "llsf", "sequential"),
     load: float = 0.7,
@@ -306,6 +317,7 @@ def paced_latencies(
     """
     cache = default_cache()
     costs = default_costs()
+    events = _replayable(events)
     if reference_throughput is None:
         reference = simulate(
             "hypersonic", pattern, events, num_cores=cores,

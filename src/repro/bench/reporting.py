@@ -64,6 +64,7 @@ def format_result_rows(results: Mapping[str, object]) -> str:
         lines.append(
             f"{name:12s} thr={result.throughput:10.4f} "
             f"lat={result.avg_latency:10.1f} "
+            f"p95={result.p95_latency:10.1f} "
             f"mem={result.peak_memory_bytes:9d} "
             f"matches={result.matches}"
         )

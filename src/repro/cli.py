@@ -28,8 +28,13 @@ from repro.datasets import (
     generate_stock_stream,
     load_stream,
     save_stream,
+    stream_source,
 )
-from repro.simulator import CacheModel, simulate
+from repro.simulator import CacheModel, as_source, simulate
+
+#: Calibration prefix for query-threshold estimation (matches the
+#: engine-side statistics bound, ``HypersonicConfig.sample_size``).
+_QUERY_SAMPLE_SIZE = 2000
 
 __all__ = ["main", "build_parser"]
 
@@ -96,7 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_query(args, events):
+def _build_query(args, source):
+    """Instantiate the requested template against a workload *source*.
+
+    The calibration sample is a bounded prefix and the present-types scan
+    streams one event at a time, so the workload never has to fit in
+    memory (*source* must be replayable — a list or a CSV source).
+    """
     from repro.workloads import (
         sensor_kleene_query,
         sensor_negation_query,
@@ -106,9 +117,10 @@ def _build_query(args, events):
         stock_sequence_query,
     )
 
-    sample = events[: max(1000, len(events) // 2)]
+    source = as_source(source)
+    sample = source.prefix(_QUERY_SAMPLE_SIZE)
     present = []
-    for event in events:
+    for event in source:
         if event.type.name not in present:
             present.append(event.type.name)
     length = 6 if args.template == "kleene" else args.length
@@ -201,8 +213,8 @@ def _command_simulate(args) -> int:
             raise SystemExit(
                 f"--trace: directory {parent!r} does not exist"
             )
-    events = load_stream(args.input)
-    spec = _build_query(args, events)
+    source = stream_source(args.input)
+    spec = _build_query(args, source)
     print(f"query: {spec.pattern.describe()}")
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
     strategies = [name.strip() for name in args.strategies.split(",")]
@@ -213,8 +225,10 @@ def _command_simulate(args) -> int:
             from repro.obs import TraceRecorder
 
             kwargs["tracer"] = TraceRecorder()
+        # The CSV source replays from disk for each strategy, so the
+        # whole comparison holds one window of events at a time.
         results[strategy] = simulate(
-            strategy, spec.pattern, events, num_cores=args.cores,
+            strategy, spec.pattern, source, num_cores=args.cores,
             cache=cache, **kwargs,
         )
         if args.trace:
@@ -226,7 +240,7 @@ def _command_simulate(args) -> int:
     baseline = results.get("sequential")
     header = (
         f"{'strategy':12s} {'throughput':>12s} {'gain':>7s} "
-        f"{'latency':>10s} {'peak mem':>10s} {'matches':>8s}"
+        f"{'latency':>10s} {'p95':>10s} {'peak mem':>10s} {'matches':>8s}"
     )
     print(header)
     print("-" * len(header))
@@ -234,7 +248,7 @@ def _command_simulate(args) -> int:
         gain = result.gain_over(baseline) if baseline else float("nan")
         print(
             f"{name:12s} {result.throughput:12.4f} {gain:6.1f}x "
-            f"{result.avg_latency:10.0f} "
+            f"{result.avg_latency:10.0f} {result.p95_latency:10.0f} "
             f"{result.peak_memory_bytes / 1024:9.1f}K {result.matches:8d}"
         )
     return 0

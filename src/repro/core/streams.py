@@ -1,19 +1,34 @@
-"""Stream utilities: merging, filtering, and bounded inspection.
+"""Stream utilities: workload sources, merging, filtering, inspection.
 
 These helpers operate on plain event iterables so they compose with any
 source — the synthetic dataset generators, lists in tests, or files loaded
 via :mod:`repro.datasets.loader`.
+
+The :class:`WorkloadSource` protocol is the library-wide contract for
+*streaming* inputs: a single-pass, bounded-memory event iterator that can
+additionally serve a bounded ``prefix(n)`` sample (used by
+``ensure_statistics``) without losing those events from the subsequent
+full iteration.  Every simulation entry point coerces its input through
+:func:`as_source`, so generators work everywhere lists do, without the
+stream ever being materialized.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.errors import StreamError
 from repro.core.events import Event
 
 __all__ = [
+    "WorkloadSource",
+    "ListSource",
+    "IterSource",
+    "as_source",
+    "Lookahead",
     "merge_streams",
     "filter_types",
     "take",
@@ -21,6 +36,164 @@ __all__ = [
     "split_by_type",
     "throttle",
 ]
+
+
+class WorkloadSource:
+    """Protocol for streaming workload inputs.
+
+    A source is iterable (yielding :class:`Event` in stream order) and can
+    produce a ``prefix(n)`` sample for statistics estimation without
+    consuming those events from the main iteration.  ``replayable`` tells
+    multi-pass consumers (e.g. ``measure_latency`` re-runs, strategy
+    comparisons) whether ``__iter__`` may be called more than once; a
+    non-replayable source is buffered once at the entry-point boundary
+    when a second pass is unavoidable.
+
+    Third-party sources need not subclass this — :func:`as_source`
+    duck-types on ``prefix``/``__iter__``/``replayable``.
+    """
+
+    replayable = False
+
+    def prefix(self, count: int) -> list[Event]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Event]:
+        raise NotImplementedError
+
+
+class ListSource(WorkloadSource):
+    """A source over an in-memory sequence (zero-copy, replayable)."""
+
+    replayable = True
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self._events = events
+
+    def prefix(self, count: int) -> list[Event]:
+        return list(self._events[:count])
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class IterSource(WorkloadSource):
+    """A single-pass source over an arbitrary iterable.
+
+    ``prefix(n)`` pulls up to *n* events into an internal buffer; the main
+    iteration replays that buffer first, then continues the underlying
+    iterator, releasing the buffer as it goes.  Iterating twice raises
+    :class:`~repro.core.errors.StreamError` — wrap the producer in a
+    replayable source (or a list) for multi-pass workloads.
+    """
+
+    replayable = False
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._iterator = iter(events)
+        self._buffer: list[Event] = []
+        self._consumed = False
+
+    def prefix(self, count: int) -> list[Event]:
+        if self._consumed:
+            raise StreamError(
+                "single-pass source already consumed; prefix() must be "
+                "called before iteration"
+            )
+        while len(self._buffer) < count:
+            event = next(self._iterator, None)
+            if event is None:
+                break
+            self._buffer.append(event)
+        return list(self._buffer[:count])
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._consumed:
+            raise StreamError(
+                "single-pass source already consumed; use a replayable "
+                "source (a list, ListSource, or a CSV stream source) for "
+                "multi-pass runs"
+            )
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Event]:
+        buffer, self._buffer = self._buffer, []
+        for event in buffer:
+            yield event
+        del buffer
+        yield from self._iterator
+
+
+def as_source(events: "Iterable[Event] | WorkloadSource") -> WorkloadSource:
+    """Coerce *events* into a :class:`WorkloadSource` without copying.
+
+    Sources (including duck-typed ones) pass through unchanged; sequences
+    are wrapped by reference; any other iterable becomes a single-pass
+    :class:`IterSource`.
+    """
+    if isinstance(events, WorkloadSource):
+        return events
+    if (
+        hasattr(events, "prefix")
+        and hasattr(events, "replayable")
+        and hasattr(events, "__iter__")
+    ):
+        return events  # duck-typed source (e.g. a CSV stream source)
+    if isinstance(events, (list, tuple)):
+        return ListSource(events)
+    return IterSource(events)
+
+
+class Lookahead:
+    """Bounded forward random access over a single-pass event stream.
+
+    ``get(position)`` returns the event at an absolute stream position
+    (``None`` past the end), buffering only the span between the lowest
+    position still needed and the highest position peeked — the window of
+    a streaming consumer that must see a little ahead of where it
+    processes (partition span construction needs up to two windows of
+    lookahead).  ``release(position)`` drops buffered events below
+    *position* once no consumer can ask for them again.
+    """
+
+    __slots__ = ("_iterator", "_buffer", "_base", "_exhausted")
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._iterator = iter(events)
+        self._buffer: deque[Event] = deque()
+        self._base = 0
+        self._exhausted = False
+
+    def get(self, position: int) -> Event | None:
+        if position < self._base:
+            raise IndexError(
+                f"position {position} already released (base {self._base})"
+            )
+        while self._base + len(self._buffer) <= position:
+            if self._exhausted:
+                return None
+            event = next(self._iterator, None)
+            if event is None:
+                self._exhausted = True
+                return None
+            self._buffer.append(event)
+        return self._buffer[position - self._base]
+
+    def release(self, position: int) -> None:
+        """Drop buffered events at positions strictly below *position*."""
+        buffer = self._buffer
+        while self._base < position and buffer:
+            buffer.popleft()
+            self._base += 1
+
+    @property
+    def buffered(self) -> int:
+        """Number of events currently resident (test/diagnostic hook)."""
+        return len(self._buffer)
 
 
 def merge_streams(*streams: Iterable[Event]) -> Iterator[Event]:

@@ -1,7 +1,13 @@
 """Synthetic datasets standing in for the paper's NASDAQ and smart-home data."""
 
 from repro.datasets.base import ArrivalProcess, DatasetConfig, interleave_arrivals
-from repro.datasets.loader import load_stream, save_stream
+from repro.datasets.loader import (
+    CSVStreamSource,
+    iter_stream,
+    load_stream,
+    save_stream,
+    stream_source,
+)
 from repro.datasets.sensors import (
     SensorConfig,
     ZONES,
@@ -19,8 +25,11 @@ __all__ = [
     "ArrivalProcess",
     "DatasetConfig",
     "interleave_arrivals",
+    "CSVStreamSource",
+    "iter_stream",
     "load_stream",
     "save_stream",
+    "stream_source",
     "SensorConfig",
     "ZONES",
     "calibrate_distance_margin",

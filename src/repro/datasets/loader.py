@@ -10,13 +10,21 @@ are encoded as ``;``-joined floats.
 from __future__ import annotations
 
 import csv
+from itertools import islice
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.errors import StreamError
 from repro.core.events import Event, EventType
+from repro.core.streams import WorkloadSource
 
-__all__ = ["save_stream", "load_stream"]
+__all__ = [
+    "save_stream",
+    "load_stream",
+    "iter_stream",
+    "CSVStreamSource",
+    "stream_source",
+]
 
 
 def _encode(value: object) -> str:
@@ -58,22 +66,25 @@ def save_stream(events: Sequence[Event], path: str | Path) -> None:
             writer.writerow(row)
 
 
-def load_stream(path: str | Path) -> list[Event]:
-    """Read a CSV written by :func:`save_stream` back into events.
+def _check_header(header: list[str] | None, path: Path) -> list[str]:
+    if header is None or header[:3] != ["type", "timestamp", "payload_size"]:
+        raise StreamError(f"{path} is not a stream CSV (bad header)")
+    return header[3:]
+
+
+def iter_stream(path: str | Path) -> Iterator[Event]:
+    """Stream events from a CSV written by :func:`save_stream`, one row at
+    a time — the file never needs to fit in memory.
 
     Events get fresh ``event_id`` values; the stream must be in timestamp
-    order (validated, mirroring the library's input model).
+    order (validated row by row, mirroring the library's input model).
     """
     path = Path(path)
-    events: list[Event] = []
     types: dict[str, EventType] = {}
     last_timestamp = float("-inf")
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None or header[:3] != ["type", "timestamp", "payload_size"]:
-            raise StreamError(f"{path} is not a stream CSV (bad header)")
-        attribute_names = header[3:]
+        attribute_names = _check_header(next(reader, None), path)
         for row in reader:
             type_name = row[0]
             timestamp = float(row[1])
@@ -87,12 +98,45 @@ def load_stream(path: str | Path) -> list[Event]:
                 name: _decode(text)
                 for name, text in zip(attribute_names, row[3:])
             }
-            events.append(
-                Event(
-                    type=event_type,
-                    timestamp=timestamp,
-                    attributes=attributes,
-                    payload_size=int(row[2]),
-                )
+            yield Event(
+                type=event_type,
+                timestamp=timestamp,
+                attributes=attributes,
+                payload_size=int(row[2]),
             )
-    return events
+
+
+def load_stream(path: str | Path) -> list[Event]:
+    """Read a CSV written by :func:`save_stream` back into a list; see
+    :func:`iter_stream` for the streaming variant this wraps."""
+    return list(iter_stream(path))
+
+
+class CSVStreamSource(WorkloadSource):
+    """A replayable :class:`~repro.core.streams.WorkloadSource` over a
+    stream CSV.
+
+    Each iteration re-opens the file, so multi-pass consumers (e.g.
+    ``simulate(..., measure_latency=True)`` or ``compare_strategies``)
+    replay it without the runner materializing the events; single-pass
+    consumers hold one row at a time.  The header is validated eagerly so
+    a bad file fails at construction, not mid-simulation.
+    """
+
+    replayable = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with self.path.open(newline="") as handle:
+            _check_header(next(csv.reader(handle), None), self.path)
+
+    def prefix(self, count: int) -> list[Event]:
+        return list(islice(iter_stream(self.path), count))
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter_stream(self.path)
+
+
+def stream_source(path: str | Path) -> CSVStreamSource:
+    """Open *path* as a replayable streaming workload source."""
+    return CSVStreamSource(path)

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import AllocationError, PatternError
 from repro.core.events import Event, validate_stream_order
+from repro.core.streams import as_source
 from repro.core.matches import Match
 from repro.core.nfa import ChainNFA, compile_pattern
 from repro.core.patterns import Operator, Pattern
@@ -256,20 +257,21 @@ class HypersonicEngine:
     def run(self, events: Iterable[Event]) -> list[Match]:
         """Process an in-order stream to completion, returning all matches.
 
-        May be called once per engine instance.
+        Accepts a list, generator, or
+        :class:`~repro.core.streams.WorkloadSource`; the stream is consumed
+        in a single pass (statistics estimation buffers only the
+        ``sample_size`` prefix).  May be called once per engine instance.
         """
         if self._built:
             raise AllocationError("run() may only be called once per engine")
-        event_list = (
-            events if isinstance(events, list) else list(events)
-        )
-        self.ensure_statistics(event_list[: self.config.sample_size])
+        source = as_source(events)
+        self.ensure_statistics(source.prefix(self.config.sample_size))
         self.build()
         splitter = self.splitter
         policy = self.policy
         assert splitter is not None and policy is not None
 
-        iterator = iter(validate_stream_order(event_list))
+        iterator = iter(validate_stream_order(source))
         exhausted = False
         while not exhausted:
             event = next(iterator, None)

@@ -19,14 +19,20 @@ saturated source with bounded channel capacity.  Event *arrival time* is
 its injection time; a match's detection latency is its completion time
 minus the arrival time of its latest constituent event (the paper's
 definition, Section 5.1).
+
+The discrete-event machinery itself — heap, clock, unit pool, injection
+policy, latency reservoir, window payload accounting, result assembly —
+lives in the shared :class:`~repro.simulator.kernel.SimKernel`; this module
+keeps only the agent-chain semantics (splitter routing, unit wake/park,
+receipt routing, flush).  Input may be any iterable: a plain list, a
+generator, or a :class:`~repro.simulator.sources.WorkloadSource`; a
+non-list stream is consumed in a single pass and never materialized.
 """
 
 from __future__ import annotations
 
-import heapq
-import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.events import Event
 from repro.core.matches import Match
@@ -35,10 +41,11 @@ from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.hypersonic.buffers import BufferSnapshot
 from repro.hypersonic.engine import HypersonicConfig, HypersonicEngine
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
-from repro.obs.export import summarize
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import Tracer
 from repro.simulator.cache import CacheModel
-from repro.simulator.metrics import LatencyAccumulator, SimResult
+from repro.simulator.kernel import SimKernel
+from repro.simulator.metrics import SimResult
+from repro.simulator.sources import as_source
 
 __all__ = ["HypersonicSimulation", "simulate_hypersonic"]
 
@@ -70,11 +77,11 @@ class HypersonicSimulation:
         pace: float | None = None,
         tracer: Tracer | None = None,
     ) -> None:
-        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.engine = HypersonicEngine(
             pattern, num_units, config=config, stats=stats, costs=costs,
-            tracer=self.tracer,
+            tracer=tracer,
         )
+        self.tracer = self.engine.tracer
         self.costs = self.engine.costs
         self.cache = cache if cache is not None else CacheModel()
         self.knobs = _SimKnobs(
@@ -85,86 +92,64 @@ class HypersonicSimulation:
         # at a fixed virtual-time interval, modelling steady-state operation
         # below saturation — the regime latency is measured in.
         self.pace = pace
-
-        self._heap: list[tuple[float, int, int, int]] = []
-        self._seq = 0
-        self._unit_free: list[float] = []
-        self._unit_busy: list[float] = []
-        self._parked: set[int] = set()
-        self._in_flight = 0
+        self.kernel = SimKernel(
+            0,
+            window=self.engine.nfa.window,
+            inflight_cap=inflight_cap,
+            pace=pace,
+            snapshot_interval=snapshot_interval,
+            latency_seed=self.engine.config.seed,
+            tracer=self.tracer,
+        )
         self._splitter_parked = False
         self._inject_times: dict[int, float] = {}
-        # Reservoir RNG is private to the accumulator so percentile
-        # sampling never perturbs the engine's seeded decisions.
-        self._latency = LatencyAccumulator(
-            rng=random.Random(self.engine.config.seed + 0x5EED)
-        )
         self._matches: list[Match] = []
-        self._peak_memory = 0
         self._items_processed = 0
         self._comparisons = 0
         self._total_work = 0.0
         self._events_routed = 0
         self._exhausted = False
         self._flushed = False
-        self._now = 0.0
-        # Shared-heap payload accounting: on a single server all components
-        # reference the same event objects, so raw payload is counted once
-        # system-wide over the active window (see module docstring of
-        # repro.simulator and EXPERIMENTS.md).  Tracked incrementally.
-        self._window_events: list[tuple[float, int]] = []
-        self._window_payload = 0
-        self._window_head = 0
 
     # ------------------------------------------------------------------ #
 
     def run(self, events: Iterable[Event]) -> SimResult:
         engine = self.engine
-        event_list = events if isinstance(events, list) else list(events)
-        engine.ensure_statistics(event_list[: engine.config.sample_size])
+        kernel = self.kernel
+        source = as_source(events)
+        engine.ensure_statistics(source.prefix(engine.config.sample_size))
         engine.build()
-        self._unit_free = [0.0] * len(engine.units)
-        self._unit_busy = [0.0] * len(engine.units)
-        self._parked = set(range(len(engine.units)))
-        self._stream = iter(event_list)
-        self._expected_events = len(event_list)
+        kernel.init_units(len(engine.units))
+        self._stream = iter(source)
 
-        self._schedule(0.0, _INJECT, 0)
+        kernel.schedule(0.0, _INJECT, 0)
         while True:
-            while self._heap:
-                time, _seq, tag, payload = heapq.heappop(self._heap)
-                self._now = max(self._now, time)
+            while True:
+                entry = kernel.pop()
+                if entry is None:
+                    break
+                time, tag, payload = entry
                 if tag == _INJECT:
                     self._do_inject(time)
                 else:
                     self._do_wake(payload, time)
             if self._exhausted and not self._flushed:
                 self._do_flush()
-                if self._heap:
+                if kernel.pending:
                     continue
             break
 
-        total_time = max(self._now, max(self._unit_free, default=0.0))
-        throughput = (
-            self._events_routed / total_time if total_time > 0 else 0.0
-        )
+        total_time = kernel.total_time()
         if self.tracer.enabled:
             self._sample_queues(total_time)
-        result = SimResult(
+        return kernel.finish(
             strategy=self.strategy_name,
-            num_units=len(engine.units),
             events=self._events_routed,
             matches=len(self._matches),
-            total_time=total_time,
-            throughput=throughput,
-            avg_latency=self._latency.mean,
-            p95_latency=self._latency.percentile(0.95),
-            max_latency=self._latency.max_value,
-            peak_memory_bytes=self._peak_memory,
             total_comparisons=self._comparisons,
             total_work=self._total_work,
             duplication_factor=1.0,
-            unit_busy=list(self._unit_busy),
+            total_time=total_time,
             extra={
                 "hops": sum(unit.hops for unit in engine.units),
                 "per_agent_items": [
@@ -177,11 +162,6 @@ class HypersonicSimulation:
                 ),
             },
         )
-        if self.tracer.enabled:
-            result.extra["obs"] = summarize(
-                self.tracer, total_time, unit_busy=self._unit_busy
-            )
-        return result
 
     @property
     def matches(self) -> list[Match]:
@@ -189,12 +169,9 @@ class HypersonicSimulation:
 
     # ------------------------------------------------------------------ #
 
-    def _schedule(self, time: float, tag: int, payload: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, tag, payload))
-
     def _do_inject(self, time: float) -> None:
-        if self.pace is None and self._in_flight >= self.knobs.inflight_cap:
+        kernel = self.kernel
+        if not kernel.admit():
             self._splitter_parked = True
             return
         event = next(self._stream, None)
@@ -207,9 +184,9 @@ class HypersonicSimulation:
         if not receipt.dropped:
             self._events_routed += 1
             self._inject_times[event.event_id] = time
-            self._in_flight += receipt.pushes
+            kernel.in_flight += receipt.pushes
             self._comparisons += receipt.comparisons
-            self._track_window(event)
+            kernel.window.observe(event.timestamp, event.payload_size)
             self._wake_consumers_of_push(time)
         cost = max(
             receipt.pushes * self.costs.queue_push
@@ -217,8 +194,7 @@ class HypersonicSimulation:
             self.costs.queue_push,
         )
         self._total_work += cost
-        interval = self.pace if self.pace is not None else cost
-        self._schedule(time + interval, _INJECT, 0)
+        kernel.schedule(time + kernel.inject_delay(cost), _INJECT, 0)
 
     def _wake_consumers_of_push(self, time: float) -> None:
         """Wake every parked unit that might now have work.
@@ -227,12 +203,13 @@ class HypersonicSimulation:
         that just received work, so all parked units wake; otherwise only
         residents of agents with ready items need to.
         """
-        if not self._parked:
+        parked = self.kernel.parked
+        if not parked:
             return
         engine = self.engine
         agent_dynamic = engine.config.agent_dynamic
         to_wake = []
-        for unit_id in self._parked:
+        for unit_id in parked:
             if agent_dynamic:
                 to_wake.append(unit_id)
                 continue
@@ -240,12 +217,13 @@ class HypersonicSimulation:
             if engine.agents[unit.current_agent].has_any_work(float("inf")):
                 to_wake.append(unit_id)
         for unit_id in to_wake:
-            self._parked.discard(unit_id)
-            self._schedule(time, _WAKE, unit_id)
+            parked.discard(unit_id)
+            self.kernel.schedule(time, _WAKE, unit_id)
 
     def _do_wake(self, unit_id: int, time: float) -> None:
         engine = self.engine
-        if time < self._unit_free[unit_id]:
+        kernel = self.kernel
+        if time < kernel.unit_free[unit_id]:
             return  # stale wake; the completion wake will re-drive it
         unit = engine.units[unit_id]
         policy = engine.policy
@@ -257,21 +235,19 @@ class HypersonicSimulation:
             if receipt.pushes:
                 done = time + receipt.pushes * self.costs.queue_push
                 self._route(agent, receipt, done, unit_id)
-                self._schedule(done, _WAKE, unit_id)
+                kernel.schedule(done, _WAKE, unit_id)
                 return
             next_ready = self._next_ready_time(unit)
             if next_ready is not None and next_ready > time:
-                self._schedule(next_ready, _WAKE, unit_id)
+                kernel.schedule(next_ready, _WAKE, unit_id)
             else:
-                self._parked.add(unit_id)
+                kernel.parked.add(unit_id)
             return
         agent = engine.agents[selection.agent_index]
-        self._in_flight -= 1
+        kernel.in_flight -= 1
         receipt = agent.process(selection.item, unit_id)
         cost = self._cost_of(receipt)
-        done = time + cost
-        self._unit_free[unit_id] = done
-        self._unit_busy[unit_id] += cost
+        done = kernel.occupy(unit_id, time, cost)
         if self.tracer.enabled:
             self.tracer.unit_busy(
                 time, cost, unit_id, selection.agent_index,
@@ -282,17 +258,17 @@ class HypersonicSimulation:
         self._comparisons += receipt.comparisons
         self._total_work += cost
         self._route(agent, receipt, done, unit_id)
-        if self._splitter_parked and self._in_flight < self.knobs.inflight_cap:
+        if self._splitter_parked and kernel.admit():
             self._splitter_parked = False
-            self._schedule(done, _INJECT, 0)
-        self._schedule(done, _WAKE, unit_id)
+            kernel.schedule(done, _INJECT, 0)
+        kernel.schedule(done, _WAKE, unit_id)
         # Backlog invitation: if this agent still has queued work and units
         # are parked elsewhere, wake them — during a drain (no new pushes)
         # nothing else would, and idle units must get the chance to migrate
         # (agent-dynamic) or resume (role-dynamic).
-        if self._parked and agent.queue_depth() > 2:
+        if kernel.parked and agent.queue_depth() > 2:
             self._wake_consumers_of_push(done)
-        if self._items_processed % self.knobs.snapshot_interval == 0:
+        if kernel.snapshot_due(self._items_processed):
             self._sample_memory()
             if self.tracer.enabled:
                 self._sample_queues(done)
@@ -308,15 +284,16 @@ class HypersonicSimulation:
 
     def _route(self, agent, receipt: Receipt, done: float, unit_id: int) -> None:
         engine = self.engine
+        kernel = self.kernel
         position = agent.agent_index
         for partial in receipt.emitted_self:
             agent.ms.push(WorkItem(ItemKind.MATCH, partial), ready_at=done)
-            self._in_flight += 1
+            kernel.in_flight += 1
         if position + 1 < len(engine.agents):
             downstream = engine.agents[position + 1]
             for partial in receipt.emitted_down:
                 downstream.ms.push(WorkItem(ItemKind.MATCH, partial), ready_at=done)
-                self._in_flight += 1
+                kernel.in_flight += 1
         else:
             for partial in receipt.emitted_down:
                 self._matches.append(Match.from_partial(partial, detected_at=done))
@@ -325,7 +302,7 @@ class HypersonicSimulation:
                 ).event_id
                 arrival = self._inject_times.get(latest_id)
                 if arrival is not None:
-                    self._latency.add(done - arrival)
+                    kernel.latency.add(done - arrival)
                 if self.tracer.enabled:
                     self.tracer.match(
                         done, position,
@@ -350,32 +327,19 @@ class HypersonicSimulation:
 
     def _do_flush(self) -> None:
         self._flushed = True
+        kernel = self.kernel
         splitter = self.engine.splitter
         assert splitter is not None
         splitter.seal()
-        time = max(self._now, max(self._unit_free, default=0.0))
+        time = kernel.total_time()
         for agent in self.engine.agents:
             for receipt in (agent.maintenance(), agent.flush()):
                 if receipt.pushes:
                     self._route(agent, receipt, time, unit_id=-1)
         # Wake everything for the post-seal drain.
-        for unit_id in list(self._parked):
-            self._parked.discard(unit_id)
-            self._schedule(time, _WAKE, unit_id)
-
-    def _track_window(self, event: Event) -> None:
-        self._window_events.append((event.timestamp, event.payload_size))
-        self._window_payload += event.payload_size
-        horizon = event.timestamp - self.engine.nfa.window
-        head = self._window_head
-        entries = self._window_events
-        while head < len(entries) and entries[head][0] < horizon:
-            self._window_payload -= entries[head][1]
-            head += 1
-        self._window_head = head
-        if head > 4096:
-            del entries[:head]
-            self._window_head = 0
+        for unit_id in list(kernel.parked):
+            kernel.parked.discard(unit_id)
+            kernel.schedule(time, _WAKE, unit_id)
 
     def _sample_queues(self, now: float) -> None:
         """Record the depth of every agent channel at virtual time *now*."""
@@ -385,24 +349,23 @@ class HypersonicSimulation:
                 tracer.queue_depth(now, index, channel, depth)
 
     def _sample_memory(self) -> None:
+        kernel = self.kernel
         snapshot = BufferSnapshot.merge(
             [agent.snapshot() for agent in self.engine.agents]
         )
         pointer = self.costs.pointer_size
-        queued = self._in_flight * self.knobs.queue_item_pointers * pointer
-        total = (
+        queued = kernel.in_flight * self.knobs.queue_item_pointers * pointer
+        kernel.note_memory(
             snapshot.pointer_items * pointer
             + snapshot.mb_items * self.costs.match_overhead
-            + self._window_payload
+            + kernel.window.payload
             + queued
         )
-        if total > self._peak_memory:
-            self._peak_memory = total
 
 
 def simulate_hypersonic(
     pattern: Pattern,
-    events: Sequence[Event],
+    events: Iterable[Event],
     num_units: int,
     config: HypersonicConfig | None = None,
     stats: WorkloadStatistics | None = None,
@@ -426,4 +389,4 @@ def simulate_hypersonic(
         pace=pace,
         tracer=tracer,
     )
-    return simulation.run(list(events))
+    return simulation.run(events)

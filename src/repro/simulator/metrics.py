@@ -21,7 +21,7 @@ class LatencyAccumulator:
     """
 
     __slots__ = ("count", "total", "max_value", "_reservoir", "_capacity",
-                 "_rng")
+                 "_rng", "_sorted")
 
     def __init__(self, capacity: int = 4096,
                  rng: random.Random | None = None) -> None:
@@ -33,6 +33,7 @@ class LatencyAccumulator:
         self._reservoir: list[float] = []
         self._capacity = capacity
         self._rng = rng if rng is not None else random.Random(0x5EED)
+        self._sorted: list[float] | None = None
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -41,10 +42,12 @@ class LatencyAccumulator:
             self.max_value = value
         if len(self._reservoir) < self._capacity:
             self._reservoir.append(value)
+            self._sorted = None
         else:
             slot = self._rng.randrange(self.count)
             if slot < self._capacity:
                 self._reservoir[slot] = value
+                self._sorted = None
 
     @property
     def mean(self) -> float:
@@ -55,7 +58,12 @@ class LatencyAccumulator:
     def percentile(self, q: float) -> float:
         if not self._reservoir:
             return 0.0
-        ordered = sorted(self._reservoir)
+        # The sorted reservoir is cached between adds: result assembly asks
+        # for several percentiles back to back and re-sorting 4096 samples
+        # per call dominated finish-time cost.
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        ordered = self._sorted
         index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[index]
 
@@ -107,5 +115,6 @@ class SimResult:
             "matches": self.matches,
             "throughput": round(self.throughput, 4),
             "avg_latency": round(self.avg_latency, 3),
+            "p95_latency": round(self.p95_latency, 3),
             "peak_memory_kb": round(self.peak_memory_bytes / 1024.0, 1),
         }

@@ -15,25 +15,35 @@ duplication (the whole point of Figure 9's comparison).
 Correctness is preserved exactly as in the functional engines: matches are
 deduplicated by the ownership rule and the simulated run returns the full
 match set.
+
+The discrete-event machinery (unit accounting, backpressure, latency
+reservoir, window payload tracking, result assembly) is the shared
+:class:`~repro.simulator.kernel.SimKernel`; this module keeps only the
+partition activate/feed/retire semantics.  Input may be a list, a
+generator, or a :class:`~repro.simulator.sources.WorkloadSource`: events
+are consumed in one pass through a bounded
+:class:`~repro.core.streams.Lookahead`, and partitions arrive as
+:class:`~repro.baselines.partitioned.PartitionSpan` streams (bounded
+lookahead for all built-in strategies), so peak resident events stay
+bounded by the window rather than the stream length.
 """
 
 from __future__ import annotations
 
-import heapq
-import random
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters
-from repro.baselines.partitioned import Partition, PartitionedEngine
+from repro.baselines.partitioned import Partition, PartitionSpan, PartitionedEngine
 from repro.engine.sequential import SequentialEngine
-from repro.obs.export import summarize
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import Tracer
 from repro.simulator.cache import CacheModel
-from repro.simulator.metrics import LatencyAccumulator, SimResult
+from repro.simulator.kernel import SimKernel
+from repro.simulator.metrics import SimResult
+from repro.simulator.sources import Lookahead, as_source
 
 __all__ = ["SequentialSimEngine", "simulate_partitioned"]
 
@@ -58,32 +68,35 @@ class SequentialSimEngine(PartitionedEngine):
             own_end_id=1 << 62,
         )
 
-    def assign_unit(self, partition: Partition,
-                    unit_loads: list[float]) -> int:
+    def spans(self, stream: Lookahead):
+        if stream.get(0) is None:
+            return
+        yield PartitionSpan(
+            index=0,
+            begin=0,
+            end=None,          # runs to the end of the stream
+            size=0,            # unused: assignment is fixed to unit 0
+            own_start=float("-inf"),
+            own_end=float("inf"),
+            own_start_id=-1,
+            own_end_id=1 << 62,
+        )
+
+    def assign_unit(self, partition, unit_loads: list[float]) -> int:
         return 0
 
 
 @dataclass
 class _ActiveRun:
-    partition: Partition
+    span: PartitionSpan
     unit: int
     engine: SequentialEngine
-    begin: int
-    end: int
     comparisons_seen: int = 0
-
-
-@dataclass
-class _SimState:
-    unit_free: list[float]
-    unit_busy: list[float]
-    completions: list[tuple[float, int]] = field(default_factory=list)
-    outstanding: int = 0
 
 
 def simulate_partitioned(
     engine: PartitionedEngine,
-    events: Sequence[Event],
+    events: Iterable[Event],
     costs: CostParameters | None = None,
     cache: CacheModel | None = None,
     inflight_cap: int = 96,
@@ -102,51 +115,50 @@ def simulate_partitioned(
     """
     costs = costs if costs is not None else CostParameters()
     cache = cache if cache is not None else CacheModel()
-    tracer = tracer if tracer is not None else NULL_TRACER
-    event_list = list(events)
     name = strategy_name or type(engine).__name__.replace("Engine", "").lower()
 
-    index_of = {event.event_id: i for i, event in enumerate(event_list)}
-    partitions = sorted(
-        engine.partitions(event_list),
-        key=lambda p: index_of[p.events[0].event_id],
+    kernel = SimKernel(
+        engine.num_units,
+        window=engine.pattern.window,
+        inflight_cap=inflight_cap,
+        pace=pace,
+        snapshot_interval=snapshot_interval,
+        latency_seed=seed,
+        tracer=tracer,
     )
+    tracer = kernel.tracer
     num_units = engine.num_units
     unit_loads = [0.0] * num_units
-    state = _SimState(unit_free=[0.0] * num_units, unit_busy=[0.0] * num_units)
-    # Reservoir RNG is private to the accumulator so percentile sampling
-    # never perturbs assignment decisions.
-    latency = LatencyAccumulator(rng=random.Random(seed + 0x5EED))
+
+    stream = Lookahead(as_source(events))
+    span_iter = engine.spans(stream)
+    pending_span = next(span_iter, None)
+
     matches: list[Match] = []
-    peak_memory = 0
     total_comparisons = 0
     total_work = 0.0
     total_tasks = 0
+    events_seen = 0
+    partitions_seen = 0
     inject = 0.0
-    next_partition = 0
     active: list[_ActiveRun] = []
 
     def task(run: _ActiveRun, cost: float, arrival: float,
              owned_matches: list[Match], kind: str = "event") -> None:
         nonlocal total_work, total_tasks
-        start = max(arrival, state.unit_free[run.unit])
-        done = start + cost
-        state.unit_free[run.unit] = done
-        state.unit_busy[run.unit] += cost
+        start, done = kernel.run_task(run.unit, arrival, cost)
         unit_loads[run.unit] += cost
-        heapq.heappush(state.completions, (done, run.unit))
-        state.outstanding += 1
         total_work += cost
         total_tasks += 1
         if tracer.enabled:
             tracer.unit_busy(
-                start, cost, run.unit, run.partition.index, "task", kind
+                start, cost, run.unit, run.span.index, "task", kind
             )
         for match in owned_matches:
             matches.append(match)
-            latency.add(done - arrival)
+            kernel.latency.add(done - arrival)
             if tracer.enabled:
-                tracer.match(done, run.partition.index, done - arrival)
+                tracer.match(done, run.span.index, done - arrival)
 
     def event_cost(run: _ActiveRun) -> float:
         nonlocal total_comparisons
@@ -163,46 +175,43 @@ def simulate_partitioned(
             + cache.scan_cost(scan, scan_sq)
         )
 
-    for position, event in enumerate(event_list):
+    position = 0
+    while True:
+        event = stream.get(position)
+        if event is None:
+            break
+        events_seen += 1
         if pace is not None:
             # Open-loop paced arrival for the latency measurement pass.
             inject = position * pace
         else:
             # Closed-loop backpressure.
-            while state.outstanding >= inflight_cap and state.completions:
-                done, _unit = heapq.heappop(state.completions)
-                state.outstanding -= 1
-                if done > inject:
-                    inject = done
-        # Activate partitions starting here.
-        while (
-            next_partition < len(partitions)
-            and index_of[partitions[next_partition].events[0].event_id]
-            <= position
-        ):
-            partition = partitions[next_partition]
-            unit = engine.assign_unit(partition, unit_loads)
+            inject = kernel.drain_backpressure(inject)
+        # Activate partitions starting here.  Spans arrive in begin order
+        # with bounded lookahead; pulling the next one may peek the stream
+        # ahead of this position, never behind it.
+        while pending_span is not None and pending_span.begin <= position:
+            span = pending_span
+            unit = engine.assign_unit(span, unit_loads)
+            partitions_seen += 1
             if tracer.enabled:
-                tracer.partition_start(inject, partition.index, unit)
-            begin = position
+                tracer.partition_start(inject, span.index, unit)
             active.append(
                 _ActiveRun(
-                    partition=partition,
+                    span=span,
                     unit=unit,
                     engine=SequentialEngine(engine.pattern),
-                    begin=begin,
-                    end=begin + len(partition.events),
                 )
             )
-            next_partition += 1
+            pending_span = next(span_iter, None)
         # Retire finished partitions.
         still_active = []
         for run in active:
-            if position >= run.end:
+            if run.span.end is not None and position >= run.span.end:
                 closing = [
                     match
                     for match in run.engine.close()
-                    if run.partition.owns(match)
+                    if run.span.owns(match)
                 ]
                 if closing:
                     cost = event_cost(run) + len(closing) * costs.queue_push
@@ -211,20 +220,21 @@ def simulate_partitioned(
                 still_active.append(run)
         active = still_active
 
-        replicas = sum(1 for run in active if run.begin <= position < run.end)
+        replicas = sum(1 for run in active if run.span.contains(position))
         if pace is None:
             inject += max(replicas, 1) * costs.queue_push
         for run in active:
-            if not run.begin <= position < run.end:
+            if not run.span.contains(position):
                 continue
             emitted = run.engine.process(event)
-            owned = [m for m in emitted if run.partition.owns(m)]
+            owned = [m for m in emitted if run.span.owns(m)]
             cost = event_cost(run) + len(emitted) * costs.queue_push
             task(run, cost, inject, owned)
 
-        if position % snapshot_interval == 0:
+        kernel.window.observe(event.timestamp, event.payload_size)
+        if kernel.snapshot_due(position):
             if tracer.enabled:
-                tracer.queue_depth(inject, -1, "inflight", state.outstanding)
+                tracer.queue_depth(inject, -1, "inflight", kernel.in_flight)
             # Shared-heap accounting (see EXPERIMENTS.md): raw in-window
             # payload counted once system-wide; each replica pays for its
             # own derived state (partial matches and buffers) in pointers.
@@ -236,66 +246,33 @@ def simulate_partitioned(
                 )
                 pointer_total += pointers
                 match_total += run.engine.buffered_match_count()
-            payload_total = _shared_window_payload(position, event_list,
-                                                   engine.pattern.window)
-            memory = (
+            kernel.note_memory(
                 pointer_total * costs.pointer_size
                 + match_total * costs.match_overhead
-                + payload_total
+                + kernel.window.payload
             )
-            if memory > peak_memory:
-                peak_memory = memory
+        position += 1
+        stream.release(position)
 
     # Retire the tail partitions.
     for run in active:
         closing = [
-            match for match in run.engine.close() if run.partition.owns(match)
+            match for match in run.engine.close() if run.span.owns(match)
         ]
         cost = event_cost(run) + len(closing) * costs.queue_push
         task(run, cost, inject, closing, kind="close")
 
-    total_time = max(
-        [inject] + [free for free in state.unit_free]
-    )
-    throughput = len(event_list) / total_time if total_time > 0 else 0.0
+    kernel.now = inject
     dedup = {match.key for match in matches}
-    result = SimResult(
+    return kernel.finish(
         strategy=name,
-        num_units=reported_units if reported_units is not None else num_units,
-        events=len(event_list),
+        events=events_seen,
         matches=len(dedup),
-        total_time=total_time,
-        throughput=throughput,
-        avg_latency=latency.mean,
-        p95_latency=latency.percentile(0.95),
-        max_latency=latency.max_value,
-        peak_memory_bytes=peak_memory,
         total_comparisons=total_comparisons,
         total_work=total_work,
         duplication_factor=(
-            total_tasks / len(event_list) if event_list else 0.0
+            total_tasks / events_seen if events_seen else 0.0
         ),
-        unit_busy=list(state.unit_busy),
-        extra={"partitions": len(partitions)},
+        num_units=reported_units if reported_units is not None else num_units,
+        extra={"partitions": partitions_seen},
     )
-    if tracer.enabled:
-        result.extra["obs"] = summarize(
-            tracer, total_time, unit_busy=state.unit_busy
-        )
-    return result
-
-
-def _shared_window_payload(position: int, event_list: Sequence[Event],
-                           window: float) -> int:
-    """Bytes of raw event payload within one window behind *position* —
-    counted once system-wide under the shared-heap accounting."""
-    now = event_list[position].timestamp
-    total = 0
-    index = position
-    while index >= 0:
-        event = event_list[index]
-        if event.timestamp < now - window:
-            break
-        total += event.payload_size
-        index -= 1
-    return total

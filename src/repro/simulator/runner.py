@@ -22,7 +22,7 @@ Strategies
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable
 
 from repro.core.errors import SimulationError
 from repro.core.events import Event
@@ -36,6 +36,7 @@ from repro.simulator.cache import CacheModel
 from repro.simulator.hypersonic_sim import simulate_hypersonic
 from repro.simulator.metrics import SimResult
 from repro.simulator.partition_sim import SequentialSimEngine, simulate_partitioned
+from repro.simulator.sources import ListSource, WorkloadSource, as_source
 
 __all__ = ["STRATEGIES", "ALLOCATION_SCHEMES", "simulate"]
 
@@ -48,7 +49,7 @@ ALLOCATION_SCHEMES = ("cost", "equal")
 def simulate(
     strategy: str,
     pattern: Pattern,
-    events: Sequence[Event],
+    events: Iterable[Event] | WorkloadSource,
     num_cores: int,
     stats: WorkloadStatistics | None = None,
     costs: CostParameters | None = None,
@@ -104,24 +105,30 @@ def simulate(
         raise SimulationError(
             f"inflight_cap must be >= 1, got {inflight_cap}"
         )
-    event_list = list(events)
+    source = as_source(events)
     if inflight_cap is None:
         # Scale channel capacity with the core count so every strategy can
         # keep its units fed; the same cap applies to all strategies.
         inflight_cap = max(64, 24 * num_cores)
     if pace is not None:
         # Explicit open-loop pacing: one paced pass (e.g. a common-arrival-
-        # rate latency comparison across strategies).
+        # rate latency comparison across strategies) — single-pass sources
+        # flow straight through.
         return _run_once(
-            strategy, pattern, event_list, num_cores,
+            strategy, pattern, source, num_cores,
             stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
             chunk_size=chunk_size, allocation=allocation,
             role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
             pace=pace, tracer=tracer,
         )
+    if measure_latency and not source.replayable:
+        # The latency measurement re-runs the workload; a single-pass
+        # source must be pinned once here — the only place the runner
+        # ever materializes a stream.
+        source = ListSource(list(source))
     capacity = _run_once(
-        strategy, pattern, event_list, num_cores,
+        strategy, pattern, source, num_cores,
         stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
@@ -132,7 +139,7 @@ def simulate(
         return capacity
     pace = 1.0 / (latency_load * capacity.throughput)
     paced = _run_once(
-        strategy, pattern, event_list, num_cores,
+        strategy, pattern, source, num_cores,
         stats=stats, costs=costs, cache=cache, inflight_cap=inflight_cap,
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
@@ -149,7 +156,7 @@ def simulate(
 def _run_once(
     strategy: str,
     pattern: Pattern,
-    events: Sequence[Event],
+    source: WorkloadSource,
     num_cores: int,
     stats: WorkloadStatistics | None,
     costs: CostParameters | None,
@@ -165,11 +172,10 @@ def _run_once(
     pace: float | None,
     tracer: Tracer | None,
 ) -> SimResult:
-    event_list = list(events)
     if strategy == "sequential":
         return simulate_partitioned(
             SequentialSimEngine(pattern),
-            event_list,
+            source,
             costs=costs,
             cache=cache,
             inflight_cap=inflight_cap,
@@ -197,7 +203,7 @@ def _run_once(
             state_cap = max(64, 24 * num_agents)
             return simulate_hypersonic(
                 pattern,
-                event_list,
+                source,
                 num_units=num_agents,
                 config=config,
                 stats=stats,
@@ -218,7 +224,7 @@ def _run_once(
         )
         return simulate_hypersonic(
             pattern,
-            event_list,
+            source,
             num_units=num_cores,
             config=config,
             stats=stats,
@@ -239,7 +245,7 @@ def _run_once(
         engine = LLSFEngine(pattern, num_cores)
     return simulate_partitioned(
         engine,
-        event_list,
+        source,
         costs=costs,
         cache=cache,
         inflight_cap=inflight_cap,

@@ -1,0 +1,95 @@
+"""Regenerate the simulator parity goldens (tests/data/sim_goldens.json).
+
+Run manually after an *intentional* change to simulated numbers:
+
+    PYTHONPATH=src:. python tests/make_sim_goldens.py
+
+The goldens pin the full :class:`~repro.simulator.SimResult` of every
+strategy on a fixed workload.  The kernel refactor (PR 2) was verified by
+generating this file from the pre-refactor seed and asserting bit-identical
+results afterwards; keeping the file frozen extends that guarantee to all
+later PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "sim_goldens.json"
+
+PATTERN_TYPES = ["A", "B", "C"]
+PATTERN_WINDOW = 6.0
+NUM_EVENTS = 600
+STREAM_SEED = 31
+NUM_CORES = 4
+
+
+def golden_workload():
+    from tests.conftest import make_stream
+
+    return make_stream(num_events=NUM_EVENTS, seed=STREAM_SEED)
+
+
+def golden_pattern():
+    from repro.core import Pattern
+
+    return Pattern.sequence(PATTERN_TYPES, window=PATTERN_WINDOW)
+
+
+def result_payload(result) -> dict:
+    """A JSON-stable dump of every SimResult field (obs summary excluded)."""
+    extra = {k: v for k, v in result.extra.items() if k != "obs"}
+    return {
+        "strategy": result.strategy,
+        "num_units": result.num_units,
+        "events": result.events,
+        "matches": result.matches,
+        "total_time": result.total_time,
+        "throughput": result.throughput,
+        "avg_latency": result.avg_latency,
+        "p95_latency": result.p95_latency,
+        "max_latency": result.max_latency,
+        "peak_memory_bytes": result.peak_memory_bytes,
+        "total_comparisons": result.total_comparisons,
+        "total_work": result.total_work,
+        "duplication_factor": result.duplication_factor,
+        "unit_busy": list(result.unit_busy),
+        "extra": extra,
+    }
+
+
+def collect() -> dict:
+    from repro.simulator import STRATEGIES, simulate
+
+    pattern = golden_pattern()
+    events = golden_workload()
+    goldens: dict = {"closed_loop": {}, "paced": {}, "measure_latency": {}}
+    for strategy in STRATEGIES:
+        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_CORES, **kwargs
+        )
+        goldens["closed_loop"][strategy] = result_payload(result)
+    for strategy in ("hypersonic", "rip"):
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_CORES, pace=3.0
+        )
+        goldens["paced"][strategy] = result_payload(result)
+    result = simulate(
+        "sequential", pattern, events, num_cores=1, measure_latency=True
+    )
+    goldens["measure_latency"]["sequential"] = result_payload(result)
+    return goldens
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(collect(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
