@@ -15,9 +15,25 @@ from repro.bench.harness import (
     skewed_stock_events,
     stock_events,
 )
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    compare_snapshots,
+    format_snapshot,
+    latest_snapshot,
+    run_bench,
+    validate_snapshot,
+    write_snapshot,
+)
 from repro.bench.reporting import format_result_rows, format_series_table
 
 __all__ = [
+    "DEFAULT_THRESHOLD",
+    "compare_snapshots",
+    "format_snapshot",
+    "latest_snapshot",
+    "run_bench",
+    "validate_snapshot",
+    "write_snapshot",
     "COMPARED_STRATEGIES",
     "DEFAULT_SCALE",
     "BenchScale",

@@ -1,0 +1,356 @@
+"""Benchmark regression trajectory: record, validate, compare.
+
+Every perf-relevant PR can pin its effect on the reproduction by running
+
+    python -m repro bench --record
+
+which executes the fig7/fig8-scale scenarios at a pinned seed, writes a
+``BENCH_<date>.json`` snapshot (throughput, p50/p95 latency, match count,
+and the cost-model calibration error per strategy), and compares it
+against the newest previous snapshot in the same directory.  A throughput
+drop beyond :data:`DEFAULT_THRESHOLD` on any (scenario, strategy) cell
+fails the comparison; CI runs the comparator in warn-only mode on a
+reduced scale (``--quick``) so the trajectory accumulates without gating
+unrelated changes.
+
+Everything here is deterministic for a fixed seed: identical re-runs
+produce identical snapshots, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import re
+from typing import Mapping
+
+from repro.bench.harness import (
+    BenchScale,
+    DEFAULT_SCALE,
+    build_query,
+    compare_strategies,
+    stock_events,
+)
+from repro.obs import MetricsRegistry, TraceRecorder, populate_from_summary
+from repro.simulator import simulate
+from repro.simulator.metrics import SimResult
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "run_bench",
+    "validate_snapshot",
+    "write_snapshot",
+    "latest_snapshot",
+    "compare_snapshots",
+    "format_snapshot",
+]
+
+#: Version tag embedded in every snapshot; bump on layout changes.
+SNAPSHOT_SCHEMA = 1
+
+#: Relative throughput drop that fails the comparison.
+DEFAULT_THRESHOLD = 0.15
+
+_SNAPSHOT_PATTERN = re.compile(r"^BENCH_.*\.json$")
+
+#: Strategy sets of the two scenarios (the paper's Figures 7 and 8).
+_THROUGHPUT_STRATEGIES = ("sequential", "hypersonic", "state", "rip", "llsf")
+_LATENCY_STRATEGIES = ("sequential", "hypersonic", "rip", "llsf")
+
+#: Offered load of the fig8-style paced scenario, as a fraction of
+#: HYPERSONIC's measured capacity (the paper paces all strategies at a
+#: common sustainable rate).
+_LATENCY_LOAD = 0.7
+
+
+def _strategy_record(result: SimResult) -> dict:
+    """The per-strategy snapshot cell, from one traced SimResult."""
+    obs = result.extra.get("obs", {})
+    breakdown = obs.get("latency_breakdown", {})
+    end_to_end = breakdown.get("end_to_end", {})
+    calibration = obs.get("calibration")
+    return {
+        "throughput": result.throughput,
+        "p50_latency": end_to_end.get("p50", 0.0),
+        "p95_latency": result.p95_latency,
+        "avg_latency": result.avg_latency,
+        "matches": result.matches,
+        "total_time": result.total_time,
+        "peak_memory_bytes": result.peak_memory_bytes,
+        "calibration_error": (
+            calibration["mean_abs_relative_error"]
+            if calibration is not None else None
+        ),
+        "calibration_verdict": (
+            calibration["verdict"] if calibration is not None else None
+        ),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = DEFAULT_SCALE.seed,
+    date: str | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict:
+    """Run the benchmark scenarios and return the snapshot dict.
+
+    ``quick`` shrinks the workload and core count for CI smoke runs (the
+    snapshot records which mode produced it, and the comparator refuses to
+    compare across modes).  Passing a :class:`MetricsRegistry` additionally
+    populates it with every run's obs summary for ``--metrics-out``.
+    """
+    scale = BenchScale(
+        num_events=800 if quick else DEFAULT_SCALE.num_events, seed=seed
+    )
+    cores = 4 if quick else scale.base_cores
+    # Quick mode shortens the pattern as well as the stream: the planted
+    # correlation thresholds leave a length-4 query matchless under 3500
+    # events, and a bench cell with zero matches pins nothing.
+    length = 3 if quick else scale.base_length
+    events = stock_events(scale)
+    spec = build_query(
+        "stocks", "seq", length, scale.base_window, events, scale
+    )
+
+    recorders: dict[str, TraceRecorder] = {}
+
+    def factory(name: str) -> TraceRecorder:
+        recorders[name] = TraceRecorder()
+        return recorders[name]
+
+    throughput_results = compare_strategies(
+        spec.pattern, events, cores=cores,
+        strategies=_THROUGHPUT_STRATEGIES, scale=scale,
+        tracer_factory=factory, seed=seed,
+    )
+
+    # fig8-style paced latency: everyone receives the same offered load,
+    # derived from HYPERSONIC's capacity measured above (no extra run).
+    reference = throughput_results["hypersonic"].throughput
+    pace = 1.0 / max(_LATENCY_LOAD * reference, 1e-12)
+    latency_results: dict[str, SimResult] = {}
+    for strategy in _LATENCY_STRATEGIES:
+        kwargs: dict = {"pace": pace, "seed": seed, "tracer": TraceRecorder()}
+        if strategy == "hypersonic":
+            kwargs["agent_dynamic"] = True
+        if strategy == "rip":
+            kwargs["chunk_size"] = scale.chunk_size
+        latency_results[strategy] = simulate(
+            strategy, spec.pattern, events, num_cores=cores, **kwargs
+        )
+
+    scenarios = {
+        "fig7_throughput": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in throughput_results.items()
+            },
+        },
+        "fig8_latency": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "pace": pace,
+            "load": _LATENCY_LOAD,
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in latency_results.items()
+            },
+        },
+    }
+
+    if registry is not None:
+        for name, result in throughput_results.items():
+            populate_from_summary(
+                registry, result.extra.get("obs", {}), strategy=name
+            )
+
+    snapshot = {
+        "schema": SNAPSHOT_SCHEMA,
+        "kind": "hypersonic-bench",
+        "date": date if date is not None else datetime.date.today().isoformat(),
+        "quick": quick,
+        "seed": seed,
+        "scenarios": scenarios,
+    }
+    validate_snapshot(snapshot)
+    return snapshot
+
+
+def validate_snapshot(snapshot: Mapping) -> None:
+    """Raise ``ValueError`` unless *snapshot* has the expected layout."""
+    def fail(message: str):
+        raise ValueError(f"invalid bench snapshot: {message}")
+
+    if not isinstance(snapshot, Mapping):
+        fail("not a mapping")
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        fail(f"schema must be {SNAPSHOT_SCHEMA}, got {snapshot.get('schema')}")
+    if snapshot.get("kind") != "hypersonic-bench":
+        fail(f"kind must be 'hypersonic-bench', got {snapshot.get('kind')}")
+    for key, kind in (("date", str), ("quick", bool), ("seed", int)):
+        if not isinstance(snapshot.get(key), kind):
+            fail(f"{key!r} must be {kind.__name__}")
+    scenarios = snapshot.get("scenarios")
+    if not isinstance(scenarios, Mapping) or not scenarios:
+        fail("'scenarios' must be a non-empty mapping")
+    numeric = (int, float)
+    for name, scenario in scenarios.items():
+        strategies = scenario.get("strategies")
+        if not isinstance(strategies, Mapping) or not strategies:
+            fail(f"scenario {name!r} has no strategies")
+        for strategy, cell in strategies.items():
+            for field in ("throughput", "p50_latency", "p95_latency"):
+                value = cell.get(field)
+                if not isinstance(value, numeric) or value < 0:
+                    fail(
+                        f"{name}/{strategy}.{field} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+            if not isinstance(cell.get("matches"), int):
+                fail(f"{name}/{strategy}.matches must be an int")
+            error = cell.get("calibration_error")
+            if error is not None and not isinstance(error, numeric):
+                fail(f"{name}/{strategy}.calibration_error must be a number")
+
+
+def write_snapshot(snapshot: Mapping, directory: str = ".") -> str:
+    """Write *snapshot* as ``BENCH_<date>.json``; returns the path.
+
+    A second snapshot on the same date gets a ``.N`` suffix so the
+    trajectory never overwrites itself.
+    """
+    validate_snapshot(snapshot)
+    os.makedirs(directory, exist_ok=True)
+    base = f"BENCH_{snapshot['date']}"
+    path = os.path.join(directory, f"{base}.json")
+    counter = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{base}.{counter}.json")
+        counter += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def latest_snapshot(directory: str = ".",
+                    exclude: str | None = None) -> str | None:
+    """Path of the newest ``BENCH_*.json`` in *directory* (mtime order),
+    skipping *exclude* (the snapshot just written)."""
+    if not os.path.isdir(directory):
+        return None
+    exclude_abs = os.path.abspath(exclude) if exclude else None
+    candidates = []
+    for name in os.listdir(directory):
+        if not _SNAPSHOT_PATTERN.match(name):
+            continue
+        path = os.path.join(directory, name)
+        if exclude_abs and os.path.abspath(path) == exclude_abs:
+            continue
+        candidates.append((os.path.getmtime(path), name, path))
+    if not candidates:
+        return None
+    return max(candidates)[2]
+
+
+def compare_snapshots(previous: Mapping, current: Mapping,
+                      threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Compare two snapshots cell by cell.
+
+    Returns ``{"ok", "regressions", "improvements", "compared", "skipped"}``.
+    A cell regresses when its throughput drops by more than *threshold*
+    relative to *previous*, or its match count changes (correctness, not
+    perf).  Snapshots from different modes (quick vs. full) or seeds are
+    not comparable and come back as all-skipped.
+    """
+    validate_snapshot(previous)
+    validate_snapshot(current)
+    report: dict = {
+        "ok": True, "regressions": [], "improvements": [],
+        "compared": 0, "skipped": [],
+    }
+    if previous.get("quick") != current.get("quick") or (
+        previous.get("seed") != current.get("seed")
+    ):
+        report["skipped"].append(
+            "snapshots use different modes/seeds; not comparable"
+        )
+        return report
+    for name, scenario in current["scenarios"].items():
+        base_scenario = previous["scenarios"].get(name)
+        if base_scenario is None:
+            report["skipped"].append(f"{name}: no baseline scenario")
+            continue
+        for strategy, cell in scenario["strategies"].items():
+            base = base_scenario["strategies"].get(strategy)
+            if base is None:
+                report["skipped"].append(f"{name}/{strategy}: no baseline")
+                continue
+            report["compared"] += 1
+            old = base["throughput"]
+            new = cell["throughput"]
+            if old > 0 and new < old * (1.0 - threshold):
+                report["ok"] = False
+                report["regressions"].append({
+                    "scenario": name,
+                    "strategy": strategy,
+                    "metric": "throughput",
+                    "old": old,
+                    "new": new,
+                    "change": new / old - 1.0,
+                })
+            elif old > 0 and new > old * (1.0 + threshold):
+                report["improvements"].append({
+                    "scenario": name,
+                    "strategy": strategy,
+                    "metric": "throughput",
+                    "old": old,
+                    "new": new,
+                    "change": new / old - 1.0,
+                })
+            if base["matches"] != cell["matches"]:
+                report["ok"] = False
+                report["regressions"].append({
+                    "scenario": name,
+                    "strategy": strategy,
+                    "metric": "matches",
+                    "old": base["matches"],
+                    "new": cell["matches"],
+                    "change": None,
+                })
+    return report
+
+
+def format_snapshot(snapshot: Mapping) -> str:
+    """Human-readable table of one snapshot (the CLI's output)."""
+    lines = [
+        f"bench snapshot {snapshot['date']} "
+        f"(seed={snapshot['seed']}, quick={snapshot['quick']})"
+    ]
+    for name, scenario in snapshot["scenarios"].items():
+        lines.append(f"\n{name}  "
+                     f"[{scenario['events']} events, {scenario['cores']} cores]")
+        header = (
+            f"  {'strategy':12s} {'throughput':>12s} {'p50 lat':>10s} "
+            f"{'p95 lat':>10s} {'matches':>8s} {'calib err':>10s}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for strategy, cell in scenario["strategies"].items():
+            error = cell.get("calibration_error")
+            lines.append(
+                f"  {strategy:12s} {cell['throughput']:12.4f} "
+                f"{cell['p50_latency']:10.1f} {cell['p95_latency']:10.1f} "
+                f"{cell['matches']:8d} "
+                + (f"{error:10.3f}" if error is not None else f"{'-':>10s}")
+            )
+    return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the library's main entry points without writing
+Five subcommands cover the library's main entry points without writing
 code:
 
 ``generate``
@@ -13,6 +13,16 @@ code:
 ``simulate``
     Race parallelization strategies over a stream CSV on the
     execution-unit simulator and print the comparison table.
+
+``obs-report``
+    Replay a JSONL trace (written by ``simulate --trace-jsonl``) through
+    the analysis passes: cost-model calibration and critical-path latency
+    attribution.
+
+``bench``
+    Run the pinned-seed benchmark scenarios; ``--record`` appends a
+    ``BENCH_<date>.json`` snapshot to the regression trajectory and
+    compares it against the newest previous one.
 """
 
 from __future__ import annotations
@@ -98,6 +108,52 @@ def build_parser() -> argparse.ArgumentParser:
             "strategy name appended"
         ),
     )
+    sim.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the raw trace as JSONL to PATH (one event per "
+            "line; feed it to `repro obs-report`); per-strategy files as "
+            "with --trace"
+        ),
+    )
+    sim.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export run metrics for all strategies to PATH in Prometheus "
+            "text exposition format (.json suffix switches to JSON)"
+        ),
+    )
+
+    obs = commands.add_parser(
+        "obs-report",
+        help="calibration + latency attribution report from a JSONL trace",
+    )
+    obs.add_argument("trace", help="JSONL trace (simulate --trace-jsonl)")
+    obs.add_argument("--json", action="store_true",
+                     help="emit the full report as JSON instead of text")
+    obs.add_argument("--tolerance", type=float, default=None,
+                     help="allocation tolerance for the calibration verdict")
+
+    bench = commands.add_parser(
+        "bench", help="run the pinned benchmark scenarios"
+    )
+    bench.add_argument("--record", action="store_true",
+                       help="write a BENCH_<date>.json snapshot")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scale for CI smoke runs")
+    bench.add_argument("--dir", default=".",
+                       help="trajectory directory (default: cwd)")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="relative throughput drop that fails (0.15)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions without failing")
+    bench.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="export bench metrics (Prometheus text / .json)")
     return parser
 
 
@@ -204,24 +260,50 @@ def _trace_path(base: str, strategy: str, multiple: bool) -> str:
     return f"{stem}-{strategy}.{suffix}"
 
 
-def _command_simulate(args) -> int:
-    if args.trace:
-        import os
+def _check_parent_dir(path: str, flag: str) -> None:
+    import os
 
-        parent = os.path.dirname(os.path.abspath(args.trace))
-        if not os.path.isdir(parent):
-            raise SystemExit(
-                f"--trace: directory {parent!r} does not exist"
-            )
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        raise SystemExit(f"{flag}: directory {parent!r} does not exist")
+
+
+def _write_metrics(path: str, registry) -> None:
+    """Write *registry* to *path*: Prometheus text, or JSON for .json."""
+    import json as _json
+
+    from repro.obs import prometheus_text
+
+    if path.endswith(".json"):
+        payload = _json.dumps(registry.to_json(), indent=1, sort_keys=True)
+        payload += "\n"
+    else:
+        payload = prometheus_text(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def _command_simulate(args) -> int:
+    for flag, path in (("--trace", args.trace),
+                       ("--trace-jsonl", args.trace_jsonl),
+                       ("--metrics-out", args.metrics_out)):
+        if path:
+            _check_parent_dir(path, flag)
+    tracing = bool(args.trace or args.trace_jsonl or args.metrics_out)
     source = stream_source(args.input)
     spec = _build_query(args, source)
     print(f"query: {spec.pattern.describe()}")
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
     strategies = [name.strip() for name in args.strategies.split(",")]
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     results = {}
     for strategy in strategies:
         kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
-        if args.trace:
+        if tracing:
             from repro.obs import TraceRecorder
 
             kwargs["tracer"] = TraceRecorder()
@@ -237,6 +319,25 @@ def _command_simulate(args) -> int:
             path = _trace_path(args.trace, strategy, len(strategies) > 1)
             write_chrome_trace(path, kwargs["tracer"])
             print(f"trace ({strategy}): {path}")
+        if args.trace_jsonl:
+            from repro.obs import write_jsonl
+
+            path = _trace_path(
+                args.trace_jsonl, strategy, len(strategies) > 1
+            )
+            write_jsonl(path, kwargs["tracer"])
+            print(f"trace jsonl ({strategy}): {path}")
+        if registry is not None:
+            from repro.obs import populate_from_summary
+
+            populate_from_summary(
+                registry,
+                results[strategy].extra.get("obs", {}),
+                strategy=strategy,
+            )
+    if registry is not None:
+        _write_metrics(args.metrics_out, registry)
+        print(f"metrics: {args.metrics_out}")
     baseline = results.get("sequential")
     header = (
         f"{'strategy':12s} {'throughput':>12s} {'gain':>7s} "
@@ -254,12 +355,167 @@ def _command_simulate(args) -> int:
     return 0
 
 
+def _format_obs_report(calibration, breakdown) -> str:
+    lines = []
+    if calibration is not None:
+        alloc = calibration["allocation"]
+        lines.append(
+            f"cost-model calibration ({calibration['scheme']} scheme, "
+            f"{calibration['total_units']} units) — {calibration['verdict']}"
+        )
+        header = (
+            f"  {'agent':>5s} {'units':>6s} {'optimal':>8s} "
+            f"{'pred share':>11s} {'obs share':>10s} {'rel err':>9s} "
+            f"{'match rate':>11s}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in calibration["per_agent"]:
+            lines.append(
+                f"  {row['agent']:5d} {row['allocated_units']:6d} "
+                f"{row['optimal_units']:8d} {row['predicted_share']:11.3f} "
+                f"{row['observed_busy_share']:10.3f} "
+                f"{row['relative_error']:+9.3f} {row['match_rate']:11.4f}"
+            )
+        lines.append(
+            f"  mean |rel err| {calibration['mean_abs_relative_error']:.3f}"
+            f"   imbalance unit={calibration['imbalance']['unit']:.3f} "
+            f"agent={calibration['imbalance']['agent']:.3f}"
+            f"   moves {alloc['moves']}/{alloc['allowed_moves']} allowed"
+        )
+    else:
+        lines.append(
+            "cost-model calibration: n/a (trace has no allocation plan)"
+        )
+    lines.append("")
+    lines.append("critical-path latency attribution")
+    header = (
+        f"  {'agent':>5s} {'items':>7s} {'svc p50':>9s} {'svc p95':>9s} "
+        f"{'svc p99':>9s} {'est wait':>9s} {'stage lat':>10s}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in breakdown["per_agent"]:
+        service = row["service"]
+        lines.append(
+            f"  {row['agent']:5d} {row['items']:7d} {service['p50']:9.3f} "
+            f"{service['p95']:9.3f} {service['p99']:9.3f} "
+            f"{row['queue']['est_wait']:9.3f} {row['stage_latency']:10.3f}"
+        )
+    end_to_end = breakdown["end_to_end"]
+    lines.append(
+        f"  end-to-end: {end_to_end['count']} matches, "
+        f"p50 {end_to_end['p50']:.1f}  p95 {end_to_end['p95']:.1f}  "
+        f"p99 {end_to_end['p99']:.1f}"
+    )
+    dominant = breakdown["dominant"]
+    if dominant is not None:
+        lines.append(
+            f"  dominant stage: agent {dominant['agent']} "
+            f"({dominant['component']}-bound, "
+            f"{dominant['share']:.0%} of modelled stage latency)"
+        )
+    return "\n".join(lines)
+
+
+def _command_obs_report(args) -> int:
+    import json as _json
+
+    from repro.obs import calibration_report, latency_breakdown, read_jsonl
+
+    events = read_jsonl(args.trace)
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["tolerance"] = args.tolerance
+    calibration = calibration_report(events, **kwargs)
+    breakdown = latency_breakdown(events)
+    if args.json:
+        print(_json.dumps(
+            {"calibration": calibration, "latency_breakdown": breakdown},
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    print(f"trace: {args.trace} ({len(events)} events)")
+    print(_format_obs_report(calibration, breakdown))
+    return 0
+
+
+def _command_bench(args) -> int:
+    from repro.bench.regression import (
+        DEFAULT_THRESHOLD,
+        compare_snapshots,
+        format_snapshot,
+        latest_snapshot,
+        run_bench,
+        write_snapshot,
+    )
+
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        _check_parent_dir(args.metrics_out, "--metrics-out")
+        registry = MetricsRegistry()
+    snapshot = run_bench(
+        quick=args.quick, seed=args.seed, registry=registry
+    )
+    print(format_snapshot(snapshot))
+    if registry is not None:
+        _write_metrics(args.metrics_out, registry)
+        print(f"\nmetrics: {args.metrics_out}")
+
+    written = None
+    if args.record:
+        written = write_snapshot(snapshot, args.dir)
+        print(f"\nsnapshot: {written}")
+    previous_path = latest_snapshot(args.dir, exclude=written)
+    if previous_path is None:
+        print("no previous snapshot; nothing to compare")
+        return 0
+    import json as _json
+
+    with open(previous_path, "r", encoding="utf-8") as handle:
+        previous = _json.load(handle)
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    report = compare_snapshots(previous, snapshot, threshold=threshold)
+    print(f"\ncompared against {previous_path} "
+          f"({report['compared']} cells, threshold {threshold:.0%})")
+    for skip in report["skipped"]:
+        print(f"  skipped: {skip}")
+    for entry in report["improvements"]:
+        print(
+            f"  improved: {entry['scenario']}/{entry['strategy']} "
+            f"{entry['metric']} {entry['old']:.4f} -> {entry['new']:.4f} "
+            f"({entry['change']:+.1%})"
+        )
+    for entry in report["regressions"]:
+        change = (
+            f" ({entry['change']:+.1%})" if entry["change"] is not None else ""
+        )
+        print(
+            f"  REGRESSION: {entry['scenario']}/{entry['strategy']} "
+            f"{entry['metric']} {entry['old']} -> {entry['new']}{change}"
+        )
+    if not report["ok"]:
+        if args.warn_only:
+            print("regressions found (warn-only mode; not failing)")
+            return 0
+        print("regression check FAILED")
+        return 1
+    print("regression check passed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _command_generate,
         "detect": _command_detect,
         "simulate": _command_simulate,
+        "obs-report": _command_obs_report,
+        "bench": _command_bench,
     }
     try:
         return handlers[args.command](args)

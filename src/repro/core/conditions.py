@@ -24,6 +24,7 @@ the per-state predicate placement the paper assumes.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -225,7 +226,9 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
         syy += dy * dy
     if sxx == 0.0 or syy == 0.0:
         return 0.0
-    return cov / (sxx * syy) ** 0.5
+    # sqrt each factor separately: for tiny deviations the product
+    # sxx * syy underflows to 0.0 while both factors are nonzero.
+    return cov / (math.sqrt(sxx) * math.sqrt(syy))
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Observability layer: structured tracing and metrics export.
+"""Observability layer: tracing, analysis, metrics, and export.
 
 The simulators accept a :class:`Tracer`; the default :data:`NULL_TRACER`
 records nothing and costs one attribute check per hot-path site.  A
@@ -6,14 +6,37 @@ records nothing and costs one attribute check per hot-path site.  A
 the virtual clock, which the exporters render as a Chrome ``trace_event``
 JSON file (openable in Perfetto / ``chrome://tracing``), a JSONL event
 log, or a per-agent/per-unit summary table.
+
+On top of the raw trace sit the analysis passes:
+
+* :func:`latency_breakdown` — critical-path attribution: per-agent queue
+  wait vs. service time, p50/p95/p99, dominant stage;
+* :func:`calibration_report` — cost-model calibration: the Theorem 1-3
+  predicted load shares against the observed busy-time shares, with a
+  load-imbalance index and a verdict on the allocation;
+* :class:`MetricsRegistry` / :class:`MetricsTracer` — counters, gauges,
+  and histograms with label support, exportable as JSON or Prometheus
+  text exposition (:func:`prometheus_text`).
 """
 
 from repro.obs.tracer import NULL_TRACER, TraceEvent, TraceKind, TraceRecorder, Tracer
 from repro.obs.export import (
     chrome_trace,
+    read_jsonl,
     summarize,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.analysis import latency_breakdown, percentile
+from repro.obs.calibration import calibration_report
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsTracer,
+    populate_from_summary,
+    prometheus_text,
 )
 
 __all__ = [
@@ -23,7 +46,18 @@ __all__ = [
     "TraceRecorder",
     "Tracer",
     "chrome_trace",
+    "read_jsonl",
     "summarize",
     "write_chrome_trace",
     "write_jsonl",
+    "latency_breakdown",
+    "percentile",
+    "calibration_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsTracer",
+    "populate_from_summary",
+    "prometheus_text",
 ]

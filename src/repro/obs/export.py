@@ -24,7 +24,13 @@ from typing import Iterable, Sequence
 
 from repro.obs.tracer import TraceEvent, TraceKind, TraceRecorder
 
-__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "summarize"]
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+]
 
 _PID_UNITS = 1
 _PID_AGENTS = 2
@@ -58,7 +64,10 @@ def chrome_trace(trace: "TraceRecorder | Iterable[TraceEvent]") -> dict:
             continue
         ts = event.ts
         if event.kind == TraceKind.UNIT_BUSY:
-            units.add(event.unit)
+            # Flush-time / hand-built spans may carry no unit; render them
+            # on a sentinel thread rather than raising in sorted() below.
+            unit = event.unit if event.unit is not None else -1
+            units.add(unit)
             out.append({
                 "name": f"A{event.agent} {event.args.get('item', 'item')}",
                 "cat": "work",
@@ -66,22 +75,24 @@ def chrome_trace(trace: "TraceRecorder | Iterable[TraceEvent]") -> dict:
                 "ts": ts,
                 "dur": event.dur,
                 "pid": _PID_UNITS,
-                "tid": event.unit,
+                "tid": unit,
                 "args": dict(event.args, agent=event.agent),
             })
         elif event.kind == TraceKind.QUEUE_DEPTH:
-            agents.add(event.agent)
+            agent = event.agent if event.agent is not None else -1
+            agents.add(agent)
             out.append({
-                "name": f"A{event.agent}.{event.args['channel']}",
+                "name": f"A{agent}.{event.args.get('channel', '?')}",
                 "cat": "queue",
                 "ph": "C",
                 "ts": ts,
                 "pid": _PID_AGENTS,
-                "tid": event.agent,
-                "args": {"depth": event.args["depth"]},
+                "tid": agent,
+                "args": {"depth": event.args.get("depth", 0)},
             })
         elif event.kind in (TraceKind.ROLE_SWITCH, TraceKind.MIGRATION):
-            units.add(event.unit)
+            unit = event.unit if event.unit is not None else -1
+            units.add(unit)
             out.append({
                 "name": event.kind,
                 "cat": "dynamics",
@@ -89,7 +100,7 @@ def chrome_trace(trace: "TraceRecorder | Iterable[TraceEvent]") -> dict:
                 "s": "t",
                 "ts": ts,
                 "pid": _PID_UNITS,
-                "tid": event.unit,
+                "tid": unit,
                 "args": dict(event.args),
             })
         else:
@@ -142,6 +153,31 @@ def write_jsonl(path: str,
             handle.write("\n")
 
 
+def read_jsonl(path: str) -> list[TraceEvent]:
+    """Load a trace written by :func:`write_jsonl` back into events.
+
+    The analysis passes (:mod:`repro.obs.analysis`,
+    :mod:`repro.obs.calibration`) run identically on a live recorder and
+    on a replayed file; blank lines are skipped, unknown keys ignored.
+    """
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            events.append(TraceEvent(
+                kind=record["kind"],
+                ts=record["ts"],
+                dur=record.get("dur", 0.0),
+                unit=record.get("unit"),
+                agent=record.get("agent"),
+                args=record.get("args", {}),
+            ))
+    return events
+
+
 def summarize(trace: "TraceRecorder | Iterable[TraceEvent]",
               total_time: float,
               unit_busy: Sequence[float] | None = None) -> dict:
@@ -176,18 +212,20 @@ def summarize(trace: "TraceRecorder | Iterable[TraceEvent]",
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
         if event.kind == TraceKind.UNIT_BUSY:
-            row = unit_row(event.unit)
+            row = unit_row(event.unit if event.unit is not None else -1)
             row["items"] += 1
             if unit_busy is None:
                 row["busy"] += event.dur
-            agent_row(event.agent)["items"] += 1
+            agent_row(event.agent if event.agent is not None else -1)["items"] += 1
         elif event.kind == TraceKind.QUEUE_DEPTH:
-            channels = agent_row(event.agent)["channels"]
+            channels = agent_row(
+                event.agent if event.agent is not None else -1
+            )["channels"]
             stats = channels.setdefault(
-                event.args["channel"],
+                event.args.get("channel", "?"),
                 {"samples": 0, "mean_depth": 0.0, "max_depth": 0},
             )
-            depth = event.args["depth"]
+            depth = event.args.get("depth", 0)
             stats["samples"] += 1
             stats["mean_depth"] += depth  # running sum; divided below
             if depth > stats["max_depth"]:
@@ -197,12 +235,12 @@ def summarize(trace: "TraceRecorder | Iterable[TraceEvent]",
         elif event.kind == TraceKind.SPLITTER_DROP:
             splitter["dropped"] += 1
             by_type = splitter["dropped_by_type"]
-            name = event.args["type"]
+            name = event.args.get("type", "?")
             by_type[name] = by_type.get(name, 0) + 1
         elif event.kind == TraceKind.ROLE_SWITCH:
-            unit_row(event.unit)["role_switches"] += 1
+            unit_row(event.unit if event.unit is not None else -1)["role_switches"] += 1
         elif event.kind == TraceKind.MIGRATION:
-            unit_row(event.unit)["migrations"] += 1
+            unit_row(event.unit if event.unit is not None else -1)["migrations"] += 1
         elif event.kind == TraceKind.MATCH:
             match_count += 1
             latency = event.args.get("latency")

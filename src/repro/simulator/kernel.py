@@ -32,6 +32,8 @@ from __future__ import annotations
 import heapq
 import random
 
+from repro.obs.analysis import latency_breakdown
+from repro.obs.calibration import calibration_report
 from repro.obs.export import summarize
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.metrics import LatencyAccumulator, SimResult
@@ -241,7 +243,17 @@ class SimKernel:
             extra=extra if extra is not None else {},
         )
         if self.tracer.enabled:
-            result.extra["obs"] = summarize(
-                self.tracer, total_time, unit_busy=self.unit_busy
-            )
+            obs = summarize(self.tracer, total_time, unit_busy=self.unit_busy)
+            events = getattr(self.tracer, "events", None)
+            if events is not None:
+                # Analysis passes derive everything from the trace alone,
+                # so replaying the JSONL export later gives the same
+                # sections (see repro.obs.analysis / .calibration).
+                obs["latency_breakdown"] = latency_breakdown(
+                    events, total_time
+                )
+                calibration = calibration_report(events, total_time=total_time)
+                if calibration is not None:
+                    obs["calibration"] = calibration
+            result.extra["obs"] = obs
         return result

@@ -1,22 +1,38 @@
-"""Regenerate the simulator parity goldens (tests/data/sim_goldens.json).
+"""Regenerate the repo's golden files — single entry point.
 
-Run manually after an *intentional* change to simulated numbers:
+Three golden sets live under ``tests/data/``; run this after an
+*intentional* change to the corresponding behaviour and review the diff
+before committing:
 
-    PYTHONPATH=src:. python tests/make_sim_goldens.py
+    PYTHONPATH=src:. python tests/make_sim_goldens.py               # all
+    PYTHONPATH=src:. python tests/make_sim_goldens.py --which sim
+    PYTHONPATH=src:. python tests/make_sim_goldens.py --which trace
+    PYTHONPATH=src:. python tests/make_sim_goldens.py --which report
 
-The goldens pin the full :class:`~repro.simulator.SimResult` of every
-strategy on a fixed workload.  The kernel refactor (PR 2) was verified by
-generating this file from the pre-refactor seed and asserting bit-identical
-results afterwards; keeping the file frozen extends that guarantee to all
-later PRs.
+* ``sim`` — ``sim_goldens.json``: the full :class:`~repro.simulator.SimResult`
+  of every strategy on a fixed workload.  The kernel refactor (PR 2) was
+  verified by generating this file from the pre-refactor seed and
+  asserting bit-identical results afterwards; keeping the file frozen
+  extends that guarantee to all later PRs.
+* ``trace`` — ``golden_chrome_trace.json``: the Chrome ``trace_event``
+  export of the tiny traced workload (``tests/test_obs.tiny_trace``).  A
+  diff means the exporter format or the simulator's traced behaviour
+  changed.
+* ``report`` — ``golden_obs_report.json``: the calibration report and
+  latency breakdown computed from that same tiny trace, replayed through
+  the JSONL round-trip so the golden also pins trace-file replayability.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
-GOLDEN_PATH = Path(__file__).parent / "data" / "sim_goldens.json"
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_PATH = DATA_DIR / "sim_goldens.json"
+TRACE_GOLDEN_PATH = DATA_DIR / "golden_chrome_trace.json"
+REPORT_GOLDEN_PATH = DATA_DIR / "golden_obs_report.json"
 
 PATTERN_TYPES = ["A", "B", "C"]
 PATTERN_WINDOW = 6.0
@@ -83,12 +99,71 @@ def collect() -> dict:
     return goldens
 
 
-def main() -> None:
+def write_sim_goldens() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
         json.dump(collect(), handle, indent=1, sort_keys=True)
         handle.write("\n")
     print(f"wrote {GOLDEN_PATH}")
+
+
+def write_trace_golden() -> None:
+    from repro.obs import chrome_trace
+    from tests.test_obs import tiny_trace
+
+    tracer, _result = tiny_trace()
+    TRACE_GOLDEN_PATH.write_text(
+        json.dumps(chrome_trace(tracer), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {TRACE_GOLDEN_PATH}")
+
+
+def obs_report_payload(tmp_dir: Path) -> dict:
+    """Calibration + latency breakdown of the tiny trace, via JSONL replay."""
+    from repro.obs import (
+        calibration_report,
+        latency_breakdown,
+        read_jsonl,
+        write_jsonl,
+    )
+    from tests.test_obs import tiny_trace
+
+    tracer, _result = tiny_trace()
+    path = tmp_dir / "tiny_trace.jsonl"
+    write_jsonl(str(path), tracer)
+    events = read_jsonl(str(path))
+    return {
+        "calibration": calibration_report(events),
+        "latency_breakdown": latency_breakdown(events),
+    }
+
+
+def write_report_golden() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = obs_report_payload(Path(tmp))
+    REPORT_GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {REPORT_GOLDEN_PATH}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--which", choices=("sim", "trace", "report", "all"), default="all",
+        help="which golden set to regenerate (default: all)",
+    )
+    which = parser.parse_args().which
+    if which in ("sim", "all"):
+        write_sim_goldens()
+    if which in ("trace", "all"):
+        write_trace_golden()
+    if which in ("report", "all"):
+        write_report_golden()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,230 @@
+"""Tests for the benchmark regression trajectory (repro.bench.regression)."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    compare_snapshots,
+    format_snapshot,
+    latest_snapshot,
+    run_bench,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return run_bench(quick=True, date="2026-01-01")
+
+
+class TestRunBench:
+    def test_snapshot_layout(self, snapshot):
+        validate_snapshot(snapshot)  # does not raise
+        assert snapshot["quick"] is True
+        assert set(snapshot["scenarios"]) == {
+            "fig7_throughput", "fig8_latency",
+        }
+        fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
+        assert set(fig7) == {
+            "sequential", "hypersonic", "state", "rip", "llsf",
+        }
+        for cell in fig7.values():
+            assert cell["throughput"] > 0
+            assert cell["matches"] > 0  # quick scale must not be degenerate
+        # HYPERSONIC runs are calibrated against their own alloc plan.
+        hyp = fig7["hypersonic"]
+        assert hyp["calibration_error"] is not None
+        assert hyp["calibration_verdict"] in ("calibrated", "drifted")
+        assert fig7["sequential"]["calibration_error"] is None
+        fig8 = snapshot["scenarios"]["fig8_latency"]
+        assert fig8["pace"] > 0
+        for cell in fig8["strategies"].values():
+            assert cell["p50_latency"] > 0
+
+    def test_identical_rerun_is_bit_identical_and_compares_clean(
+        self, snapshot
+    ):
+        again = run_bench(quick=True, date="2026-01-01")
+        assert again == snapshot
+        report = compare_snapshots(snapshot, again)
+        assert report["ok"] is True
+        assert report["regressions"] == []
+        assert report["improvements"] == []
+        assert report["compared"] == 9  # 5 fig7 + 4 fig8 cells
+        assert report["skipped"] == []
+
+    def test_registry_population(self):
+        registry = MetricsRegistry()
+        run_bench(quick=True, date="2026-01-01", registry=registry)
+        dump = registry.to_json()
+        strategies = {s["labels"]["strategy"]
+                      for s in dump["sim_total_time"]["series"]}
+        assert "hypersonic" in strategies and "sequential" in strategies
+
+    def test_snapshot_is_json_serialisable(self, snapshot):
+        json.dumps(snapshot)
+
+
+class TestCompare:
+    def test_synthetic_throughput_drop_flagged(self, snapshot):
+        degraded = copy.deepcopy(snapshot)
+        cell = degraded["scenarios"]["fig7_throughput"]["strategies"][
+            "hypersonic"
+        ]
+        cell["throughput"] *= 0.8  # a 20% drop, beyond the 15% threshold
+        report = compare_snapshots(snapshot, degraded)
+        assert report["ok"] is False
+        assert len(report["regressions"]) == 1
+        regression = report["regressions"][0]
+        assert regression["scenario"] == "fig7_throughput"
+        assert regression["strategy"] == "hypersonic"
+        assert regression["metric"] == "throughput"
+        assert regression["change"] == pytest.approx(-0.2)
+
+    def test_drop_within_threshold_passes(self, snapshot):
+        degraded = copy.deepcopy(snapshot)
+        for scenario in degraded["scenarios"].values():
+            for cell in scenario["strategies"].values():
+                cell["throughput"] *= 0.9  # 10% < 15% threshold
+        assert compare_snapshots(snapshot, degraded)["ok"] is True
+
+    def test_match_count_change_is_a_regression(self, snapshot):
+        wrong = copy.deepcopy(snapshot)
+        wrong["scenarios"]["fig8_latency"]["strategies"]["rip"][
+            "matches"
+        ] += 1
+        report = compare_snapshots(snapshot, wrong)
+        assert report["ok"] is False
+        assert report["regressions"][0]["metric"] == "matches"
+
+    def test_improvement_reported_without_failing(self, snapshot):
+        better = copy.deepcopy(snapshot)
+        better["scenarios"]["fig7_throughput"]["strategies"]["rip"][
+            "throughput"
+        ] *= 1.5
+        report = compare_snapshots(snapshot, better)
+        assert report["ok"] is True
+        assert len(report["improvements"]) == 1
+
+    def test_mode_mismatch_skips_comparison(self, snapshot):
+        full = copy.deepcopy(snapshot)
+        full["quick"] = False
+        report = compare_snapshots(snapshot, full)
+        assert report["ok"] is True
+        assert report["compared"] == 0
+        assert report["skipped"]
+
+    def test_seed_mismatch_skips_comparison(self, snapshot):
+        other = copy.deepcopy(snapshot)
+        other["seed"] = snapshot["seed"] + 1
+        assert compare_snapshots(snapshot, other)["compared"] == 0
+
+    def test_missing_baseline_cells_are_skipped(self, snapshot):
+        partial = copy.deepcopy(snapshot)
+        del partial["scenarios"]["fig8_latency"]
+        del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
+        report = compare_snapshots(partial, snapshot)
+        assert report["compared"] == 4
+        assert len(report["skipped"]) == 2
+
+
+class TestValidate:
+    def test_rejects_bad_layouts(self, snapshot):
+        for mutate in (
+            lambda s: s.update(schema=99),
+            lambda s: s.update(kind="other"),
+            lambda s: s.update(quick="yes"),
+            lambda s: s.update(scenarios={}),
+            lambda s: s["scenarios"]["fig7_throughput"].update(strategies={}),
+            lambda s: s["scenarios"]["fig7_throughput"]["strategies"][
+                "rip"
+            ].update(throughput=-1.0),
+            lambda s: s["scenarios"]["fig7_throughput"]["strategies"][
+                "rip"
+            ].update(matches=1.5),
+            lambda s: s["scenarios"]["fig8_latency"]["strategies"][
+                "rip"
+            ].update(calibration_error="big"),
+        ):
+            broken = copy.deepcopy(snapshot)
+            mutate(broken)
+            with pytest.raises(ValueError, match="invalid bench snapshot"):
+                validate_snapshot(broken)
+
+    def test_format_snapshot_renders(self, snapshot):
+        text = format_snapshot(snapshot)
+        assert "bench snapshot 2026-01-01" in text
+        assert "fig7_throughput" in text
+        assert "hypersonic" in text
+
+
+class TestSnapshotFiles:
+    def test_write_suffixes_instead_of_overwriting(self, snapshot, tmp_path):
+        first = write_snapshot(snapshot, str(tmp_path))
+        second = write_snapshot(snapshot, str(tmp_path))
+        assert first.endswith("BENCH_2026-01-01.json")
+        assert second.endswith("BENCH_2026-01-01.1.json")
+        assert json.loads(open(first).read()) == snapshot
+
+    def test_latest_snapshot_mtime_order_and_exclude(self, snapshot, tmp_path):
+        assert latest_snapshot(str(tmp_path)) is None
+        first = write_snapshot(snapshot, str(tmp_path))
+        os.utime(first, (1_000_000, 1_000_000))
+        second = write_snapshot(snapshot, str(tmp_path))
+        assert latest_snapshot(str(tmp_path)) == second
+        assert latest_snapshot(str(tmp_path), exclude=second) == first
+        (tmp_path / "notes.json").write_text("{}")  # ignored: no BENCH_ prefix
+        assert latest_snapshot(str(tmp_path), exclude=second) == first
+
+
+class TestCliBench:
+    def run_cli(self, args):
+        from repro.cli import main
+
+        return main(["bench", "--quick", *args])
+
+    def test_record_then_identical_rerun_passes(self, tmp_path, capsys):
+        code = self.run_cli(["--record", "--dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no previous snapshot" in out
+        assert (tmp_path / "BENCH_2026-08-06.json").exists() or any(
+            p.name.startswith("BENCH_") for p in tmp_path.iterdir()
+        )
+        code = self.run_cli(["--record", "--dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regression check passed" in out
+
+    def test_regression_fails_unless_warn_only(self, snapshot, tmp_path,
+                                               capsys):
+        # Seed the trajectory with a doctored "previous" snapshot whose
+        # throughputs are double what the deterministic quick bench
+        # produces — the fresh run must look like a uniform 50% drop.
+        inflated = copy.deepcopy(snapshot)
+        for scenario in inflated["scenarios"].values():
+            for cell in scenario["strategies"].values():
+                cell["throughput"] *= 2.0
+        write_snapshot(inflated, str(tmp_path))
+        code = self.run_cli(["--dir", str(tmp_path),
+                             "--seed", str(snapshot["seed"])])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        code = self.run_cli(["--dir", str(tmp_path), "--warn-only",
+                             "--seed", str(snapshot["seed"])])
+        assert code == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_metrics_out(self, tmp_path):
+        metrics = tmp_path / "bench_metrics.prom"
+        code = self.run_cli(["--dir", str(tmp_path),
+                             "--metrics-out", str(metrics)])
+        assert code == 0
+        text = metrics.read_text(encoding="utf-8")
+        assert "# TYPE sim_total_time gauge" in text
+        assert 'strategy="hypersonic"' in text

@@ -88,3 +88,109 @@ class TestSimulate:
         assert "hypersonic" in out
         assert "sequential" in out
         assert "gain" in out
+
+
+class TestSimulateObservability:
+    def test_trace_jsonl_and_metrics_out(self, stock_csv, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "4",
+            "--strategies", "sequential,hypersonic",
+            "--trace-jsonl", str(jsonl), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace jsonl (hypersonic)" in out
+        for strategy in ("sequential", "hypersonic"):
+            path = tmp_path / f"trace-{strategy}.jsonl"
+            assert path.exists()
+            import json
+
+            first = json.loads(path.read_text().splitlines()[0])
+            assert "kind" in first
+        dump = json.loads(metrics.read_text())
+        strategies = {series["labels"]["strategy"]
+                      for series in dump["sim_total_time"]["series"]}
+        assert strategies == {"sequential", "hypersonic"}
+
+    def test_metrics_out_prometheus_format(self, stock_csv, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "3",
+            "--strategies", "hypersonic",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE sim_total_time gauge" in text
+
+    def test_missing_parent_dir_rejected(self, stock_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "simulate", "stocks", str(stock_csv),
+                "--length", "3", "--window", "20", "--cores", "2",
+                "--trace-jsonl", "/nonexistent-dir-xyz/trace.jsonl",
+            ])
+
+
+class TestObsReport:
+    @pytest.fixture()
+    def trace_jsonl(self, stock_csv, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        code = main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "4",
+            "--strategies", "hypersonic",
+            "--trace-jsonl", str(jsonl),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return jsonl
+
+    def test_text_report(self, trace_jsonl, capsys):
+        assert main(["obs-report", str(trace_jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "cost-model calibration" in out
+        assert "critical-path latency attribution" in out
+        assert "end-to-end:" in out
+        assert "calibrated" in out or "drifted" in out
+
+    def test_json_report(self, trace_jsonl, capsys):
+        import json
+
+        assert main(["obs-report", str(trace_jsonl), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"calibration", "latency_breakdown"}
+        assert payload["calibration"]["verdict"] in ("calibrated", "drifted")
+        assert payload["latency_breakdown"]["per_agent"]
+
+    def test_tolerance_flag_changes_verdict_inputs(self, trace_jsonl, capsys):
+        assert main([
+            "obs-report", str(trace_jsonl), "--json", "--tolerance", "0.9",
+        ]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        allocation = payload["calibration"]["allocation"]
+        assert allocation["tolerance"] == 0.9
+
+    def test_report_without_plan_degrades_gracefully(self, stock_csv,
+                                                     tmp_path, capsys):
+        jsonl = tmp_path / "seq.jsonl"
+        main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "2",
+            "--strategies", "sequential",
+            "--trace-jsonl", str(jsonl),
+        ])
+        capsys.readouterr()
+        assert main(["obs-report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "n/a (trace has no allocation plan)" in out

@@ -138,7 +138,7 @@ class TestExporters:
         """The exporter's output on the tiny workload is locked in; a
         diff means either the simulator's traced behaviour or the export
         format changed — both must be deliberate.  Regenerate with:
-        PYTHONPATH=src python tests/data/regen_golden.py
+        PYTHONPATH=src:. python tests/make_sim_goldens.py --which trace
         """
         tracer, _result = tiny_trace()
         produced = chrome_trace(tracer)
@@ -166,6 +166,136 @@ class TestExporters:
         from_list = summarize(list(tracer.events), result.total_time)
         from_recorder = summarize(tracer, result.total_time)
         assert from_list == from_recorder
+
+
+class TestExporterRobustness:
+    """Degenerate traces must export, not raise (regression tests for the
+    empty / instant-only / missing-field hardening)."""
+
+    def test_empty_trace(self):
+        trace = chrome_trace([])
+        assert trace["traceEvents"]  # process metadata still present
+        assert all(record["ph"] == "M" for record in trace["traceEvents"])
+        summary = summarize([], 0.0)
+        assert summary["events_recorded"] == 0
+        assert summary["counts"] == {}
+        assert summary["matches"]["count"] == 0
+
+    def test_instant_only_trace(self):
+        from repro.obs import TraceEvent
+
+        events = [
+            TraceEvent(TraceKind.ALLOC_PLAN, 0.0,
+                       args={"per_agent": [1], "loads": [1.0],
+                             "scheme": "cost"}),
+            TraceEvent(TraceKind.SPLITTER_DROP, 1.0, args={"type": "X"}),
+            TraceEvent(TraceKind.MATCH, 2.0, agent=0, args={}),  # no latency
+        ]
+        trace = chrome_trace(events)
+        assert {r["ph"] for r in trace["traceEvents"]} == {"M", "i"}
+        summary = summarize(events, 2.0)
+        assert summary["matches"] == {"count": 1, "mean_latency": 0.0}
+        assert summary["splitter"]["dropped_by_type"] == {"X": 1}
+
+    def test_none_unit_and_agent_use_sentinel(self):
+        from repro.obs import TraceEvent
+
+        events = [
+            TraceEvent(TraceKind.UNIT_BUSY, 0.0, dur=1.0, args={}),
+            TraceEvent(TraceKind.QUEUE_DEPTH, 0.5, args={}),
+            TraceEvent(TraceKind.ROLE_SWITCH, 1.0, args={}),
+        ]
+        trace = chrome_trace(events)
+        spans = [r for r in trace["traceEvents"] if r["ph"] == "X"]
+        assert spans[0]["tid"] == -1
+        counters = [r for r in trace["traceEvents"] if r["ph"] == "C"]
+        assert counters[0]["tid"] == -1
+        assert counters[0]["args"] == {"depth": 0}
+        summary = summarize(events, 1.0)
+        assert summary["units"][-1]["items"] == 1
+        assert summary["units"][-1]["role_switches"] == 1
+        assert summary["agents"][-1]["channels"]["?"]["samples"] == 1
+
+    def test_non_finite_timestamps_are_skipped(self):
+        from repro.obs import TraceEvent
+
+        events = [
+            TraceEvent(TraceKind.MATCH, float("nan"), agent=0, args={}),
+            TraceEvent(TraceKind.MATCH, 1.0, agent=0, args={}),
+        ]
+        trace = chrome_trace(events)
+        instants = [r for r in trace["traceEvents"] if r["ph"] == "i"]
+        assert len(instants) == 1
+        json.dumps(trace)  # NaN-free, strictly serialisable
+
+
+class TestDynamicsExport:
+    """Chrome export of a run exercising role switches, migrations, and a
+    fusion plan (agent-dynamic HYPERSONIC with a forced fusion pair)."""
+
+    @pytest.fixture(scope="class")
+    def dynamic_trace(self):
+        pattern = Pattern.sequence(["A", "B", "C", "D"], window=8.0)
+        events = make_stream(num_events=400, seed=13)
+        tracer = TraceRecorder()
+        result = simulate(
+            "hypersonic", pattern, events, num_cores=5,
+            agent_dynamic=True, force_fusion_pairs=((0, 1),), tracer=tracer,
+        )
+        return tracer, result
+
+    def test_all_dynamics_kinds_recorded(self, dynamic_trace):
+        tracer, _result = dynamic_trace
+        kinds = {event.kind for event in tracer.events}
+        assert {TraceKind.ROLE_SWITCH, TraceKind.MIGRATION,
+                TraceKind.FUSION_PLAN} <= kinds
+
+    def test_chrome_rendering_of_dynamics(self, dynamic_trace):
+        tracer, _result = dynamic_trace
+        trace = chrome_trace(tracer)
+        records = trace["traceEvents"]
+        by_name: dict[str, list] = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        switches = by_name[TraceKind.ROLE_SWITCH]
+        migrations = by_name[TraceKind.MIGRATION]
+        # dynamics render as thread-scoped instants on the unit timeline
+        for record in switches + migrations:
+            assert record["ph"] == "i"
+            assert record["s"] == "t"
+            assert record["pid"] == 1
+            assert record["tid"] >= 0
+        for record in switches:
+            assert {"primary", "acted"} <= set(record["args"])
+        for record in migrations:
+            assert {"from", "to"} <= set(record["args"])
+        fusion = by_name["fusion_plan"]
+        assert len(fusion) == 1
+        assert fusion[0]["args"]["groups"] == [[1, 2], [3]]
+        assert fusion[0]["pid"] == 3  # control plane process
+        # units the migrations land on are named threads
+        named = {r["tid"] for r in records
+                 if r["name"] == "thread_name" and r["pid"] == 1}
+        assert {r["tid"] for r in migrations} <= named
+
+    def test_timestamps_sorted(self, dynamic_trace):
+        tracer, _result = dynamic_trace
+        records = chrome_trace(tracer)["traceEvents"]
+        body = [r for r in records if r["ph"] != "M"]
+        timestamps = [r["ts"] for r in body]
+        assert timestamps == sorted(timestamps)
+        json.dumps(records)
+
+    def test_summary_counts_dynamics(self, dynamic_trace):
+        tracer, result = dynamic_trace
+        obs = result.extra["obs"]
+        assert obs["counts"][TraceKind.ROLE_SWITCH] > 0
+        assert obs["counts"][TraceKind.MIGRATION] > 0
+        switch_total = sum(row["role_switches"]
+                           for row in obs["units"].values())
+        assert switch_total == obs["counts"][TraceKind.ROLE_SWITCH]
+        # fused runs calibrate against the fusion plan's allocation
+        assert obs["calibration"]["scheme"] == "fusion"
 
 
 class TestHarnessHook:

@@ -1,0 +1,283 @@
+"""Tests for the trace analysis passes: latency attribution + calibration.
+
+The hand-built traces exercise the arithmetic on values small enough to
+check by hand; the golden test pins the full report produced from the
+tiny traced workload (regenerate with
+``PYTHONPATH=src:. python tests/make_sim_goldens.py --which report``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from tests.conftest import make_stream
+from repro.core import Pattern
+from repro.obs import (
+    TraceEvent,
+    TraceKind,
+    TraceRecorder,
+    calibration_report,
+    latency_breakdown,
+    percentile,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.analysis import _depth_integral
+from repro.simulator import simulate
+
+PATTERN = Pattern.sequence(["A", "B", "C"], window=6.0)
+REPORT_GOLDEN = (
+    pathlib.Path(__file__).parent / "data" / "golden_obs_report.json"
+)
+
+
+def busy(ts, dur, unit, agent, item="event"):
+    return TraceEvent(TraceKind.UNIT_BUSY, ts, dur=dur, unit=unit,
+                      agent=agent, args={"role": "event", "item": item})
+
+
+def depth(ts, agent, value, channel="ES"):
+    return TraceEvent(TraceKind.QUEUE_DEPTH, ts, agent=agent,
+                      args={"channel": channel, "depth": value})
+
+
+def match(ts, agent, latency):
+    return TraceEvent(TraceKind.MATCH, ts, agent=agent,
+                      args={"latency": latency})
+
+
+def alloc(per_agent, loads, scheme="cost"):
+    return TraceEvent(TraceKind.ALLOC_PLAN, 0.0, args={
+        "per_agent": list(per_agent), "loads": list(loads), "scheme": scheme,
+    })
+
+
+class TestPercentile:
+    def test_nearest_rank_convention(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(ordered, 0.50) == 2.0
+        assert percentile(ordered, 0.95) == 4.0
+        assert percentile(ordered, 0.25) == 1.0
+
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestDepthIntegral:
+    def test_step_function_area(self):
+        # depth 2 over [0,1), depth 4 over [1,3), depth 0 over [3,5]
+        samples = [(0.0, 2), (1.0, 4), (3.0, 0)]
+        assert _depth_integral(samples, 5.0) == pytest.approx(2 + 8 + 0)
+
+    def test_out_of_order_samples_are_sorted(self):
+        samples = [(1.0, 4), (0.0, 2), (3.0, 0)]
+        assert _depth_integral(samples, 5.0) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert _depth_integral([], 10.0) == 0.0
+
+
+class TestLatencyBreakdown:
+    def test_hand_computed_report(self):
+        events = [
+            busy(0.0, 1.0, 0, 0),
+            busy(1.0, 2.0, 0, 0),
+            busy(3.0, 3.0, 1, 0, item="match"),
+            busy(0.0, 4.0, 2, 1),
+            depth(0.0, 0, 2),
+            depth(5.0, 0, 0),
+            match(6.0, 1, latency=2.5),
+            match(8.0, 1, latency=3.5),
+        ]
+        report = latency_breakdown(events, total_time=10.0)
+        assert report["total_time"] == 10.0
+        rows = {row["agent"]: row for row in report["per_agent"]}
+        assert set(rows) == {0, 1}
+        a0 = rows[0]
+        assert a0["items"] == 3
+        assert a0["service"]["total"] == pytest.approx(6.0)
+        assert a0["service"]["p50"] == 2.0
+        assert a0["service_by_kind"] == {"event": 3.0, "match": 3.0}
+        # depth 2 over [0,5), 0 after -> integral 10, mean depth 1.0;
+        # 3 completions in 10 time units -> rate 0.3 -> wait 10/3.
+        assert a0["queue"]["depth_integral"] == pytest.approx(10.0)
+        assert a0["queue"]["mean_depth"] == pytest.approx(1.0)
+        assert a0["queue"]["est_wait"] == pytest.approx(10.0 / 3.0)
+        assert a0["stage_latency"] == pytest.approx(10.0 / 3.0 + 2.0)
+        a1 = rows[1]
+        assert a1["queue"]["est_wait"] == 0.0
+        assert a1["match_latency"]["count"] == 2
+        assert a1["match_latency"]["p50"] == 2.5
+        e2e = report["end_to_end"]
+        assert e2e["count"] == 2
+        assert e2e["mean"] == pytest.approx(3.0)
+        dominant = report["dominant"]
+        assert dominant["agent"] == 0
+        assert dominant["component"] == "queue"  # wait 3.33 > mean svc 2.0
+        assert 0.0 < dominant["share"] < 1.0
+
+    def test_empty_trace_zeroed(self):
+        report = latency_breakdown([])
+        assert report["per_agent"] == []
+        assert report["end_to_end"]["count"] == 0
+        assert report["dominant"] is None
+        assert report["total_time"] == 0.0
+
+    def test_total_time_defaults_to_span_end(self):
+        events = [busy(1.0, 2.0, 0, 0)]
+        assert latency_breakdown(events)["total_time"] == 3.0
+
+    def test_none_agent_grouped_under_sentinel(self):
+        events = [busy(0.0, 1.0, None, None)]
+        report = latency_breakdown(events, total_time=2.0)
+        assert [row["agent"] for row in report["per_agent"]] == [-1]
+
+    def test_accepts_recorder(self):
+        recorder = TraceRecorder()
+        recorder.unit_busy(0.0, 1.5, 0, 0, "event", "event")
+        from_recorder = latency_breakdown(recorder, total_time=2.0)
+        from_list = latency_breakdown(list(recorder.events), total_time=2.0)
+        assert from_recorder == from_list
+
+
+class TestCalibrationReport:
+    def test_no_plan_returns_none(self):
+        assert calibration_report([busy(0.0, 1.0, 0, 0)]) is None
+        assert calibration_report([]) is None
+
+    def test_plan_without_busy_spans_returns_none(self):
+        assert calibration_report([alloc([2, 2], [1.0, 1.0])]) is None
+
+    def test_perfect_prediction_calibrated(self):
+        events = [
+            alloc([2, 2], [1.0, 1.0]),
+            busy(0.0, 5.0, 0, 0), busy(0.0, 5.0, 1, 0),
+            busy(0.0, 5.0, 2, 1), busy(0.0, 5.0, 3, 1),
+        ]
+        report = calibration_report(events, total_time=5.0)
+        assert report["verdict"] == "calibrated"
+        assert report["mean_abs_relative_error"] == pytest.approx(0.0)
+        assert report["allocation"]["moves"] == 0
+        assert report["allocation"]["actual"] == report["allocation"]["optimal"]
+        assert report["imbalance"]["unit"] == pytest.approx(1.0)
+        assert report["imbalance"]["agent"] == pytest.approx(1.0)
+
+    def test_skewed_load_drifts(self):
+        # The plan split 6 units evenly but agent 1 did 5x the work: the
+        # empirically optimal split moves two units across.
+        events = [alloc([3, 3], [1.0, 1.0]),
+                  busy(0.0, 1.0, 0, 0), busy(0.0, 5.0, 3, 1)]
+        report = calibration_report(events, total_time=5.0)
+        assert report["allocation"]["optimal"] == [1, 5]
+        assert report["allocation"]["moves"] == 2
+        assert report["allocation"]["allowed_moves"] == 1
+        assert report["verdict"] == "drifted"
+        rows = {row["agent"]: row for row in report["per_agent"]}
+        # predicted 0.5 each vs observed 1/6 and 5/6.
+        assert rows[0]["relative_error"] == pytest.approx(2.0)
+        assert rows[1]["relative_error"] == pytest.approx(-0.4)
+        assert rows[0]["optimal_units"] == 1
+
+    def test_tolerance_widens_the_verdict(self):
+        events = [alloc([3, 3], [1.0, 1.0]),
+                  busy(0.0, 1.0, 0, 0), busy(0.0, 5.0, 3, 1)]
+        report = calibration_report(events, total_time=5.0, tolerance=0.5)
+        assert report["allocation"]["allowed_moves"] == 3
+        assert report["verdict"] == "calibrated"
+
+    def test_fusion_plan_units_stand_in_for_loads(self):
+        events = [
+            TraceEvent(TraceKind.FUSION_PLAN, 0.0, args={
+                "groups": [[0, 1]], "per_agent": [3, 1],
+            }),
+            busy(0.0, 3.0, 0, 0), busy(0.0, 1.0, 3, 1),
+        ]
+        report = calibration_report(events, total_time=3.0)
+        assert report["scheme"] == "fusion"
+        rows = {row["agent"]: row for row in report["per_agent"]}
+        assert rows[0]["predicted_share"] == pytest.approx(0.75)
+        assert rows[0]["observed_busy_share"] == pytest.approx(0.75)
+        assert report["verdict"] == "calibrated"
+
+    def test_last_plan_wins(self):
+        events = [
+            alloc([4, 0], [1.0, 0.0]),
+            alloc([2, 2], [1.0, 1.0]),
+            busy(0.0, 5.0, 0, 0), busy(0.0, 5.0, 2, 1),
+        ]
+        report = calibration_report(events, total_time=5.0)
+        assert report["allocation"]["actual"] == [2, 2]
+        assert report["verdict"] == "calibrated"
+
+    def test_match_rate_and_queue_share(self):
+        events = [
+            alloc([1, 1], [1.0, 1.0]),
+            busy(0.0, 2.0, 0, 0),
+            busy(0.0, 2.0, 1, 1, item="match"),
+            busy(2.0, 2.0, 1, 1, item="match"),
+            depth(0.0, 0, 3),
+        ]
+        report = calibration_report(events, total_time=4.0)
+        rows = {row["agent"]: row for row in report["per_agent"]}
+        assert rows[1]["match_rate"] == pytest.approx(2 / 4.0)
+        assert rows[0]["match_rate"] == 0.0
+        assert rows[0]["queue_share"] == pytest.approx(1.0)
+        assert rows[1]["queue_share"] == 0.0
+
+
+class TestTracedRunIntegration:
+    def test_hypersonic_obs_carries_both_sections(self):
+        events = make_stream(num_events=300, seed=41)
+        tracer = TraceRecorder()
+        result = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=tracer)
+        obs = result.extra["obs"]
+        assert obs["calibration"]["verdict"] in ("calibrated", "drifted")
+        assert obs["calibration"]["total_units"] == 4
+        breakdown = obs["latency_breakdown"]
+        assert breakdown["total_time"] == result.total_time
+        assert breakdown["end_to_end"]["count"] > 0
+        # Observed busy shares come straight from the traced spans.
+        total_busy = sum(r["observed_busy"]
+                        for r in obs["calibration"]["per_agent"])
+        assert total_busy == pytest.approx(sum(result.unit_busy))
+
+    def test_partition_strategy_has_breakdown_but_no_calibration(self):
+        events = make_stream(num_events=200, seed=42)
+        tracer = TraceRecorder()
+        result = simulate("rip", PATTERN, events, num_cores=4, tracer=tracer)
+        obs = result.extra["obs"]
+        assert "calibration" not in obs  # no plan event to calibrate against
+        assert obs["latency_breakdown"]["per_agent"]
+
+    def test_jsonl_replay_reproduces_the_attached_report(self, tmp_path):
+        events = make_stream(num_events=300, seed=43)
+        tracer = TraceRecorder()
+        result = simulate("hypersonic", PATTERN, events, num_cores=4,
+                          tracer=tracer)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), tracer)
+        replayed = read_jsonl(str(path))
+        assert len(replayed) == len(tracer.events)
+        obs = result.extra["obs"]
+        assert latency_breakdown(
+            replayed, total_time=result.total_time
+        ) == obs["latency_breakdown"]
+        assert calibration_report(
+            replayed, total_time=result.total_time
+        ) == obs["calibration"]
+
+
+class TestGoldenReport:
+    def test_report_matches_golden(self, tmp_path):
+        """The calibration report + latency breakdown on the tiny traced
+        workload are locked in, via the JSONL replay path.  Regenerate
+        with: PYTHONPATH=src:. python tests/make_sim_goldens.py --which report
+        """
+        from tests.make_sim_goldens import obs_report_payload
+
+        produced = json.loads(json.dumps(obs_report_payload(tmp_path)))
+        golden = json.loads(REPORT_GOLDEN.read_text(encoding="utf-8"))
+        assert produced == golden
