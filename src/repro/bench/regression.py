@@ -30,14 +30,17 @@ from repro.bench.harness import (
     DEFAULT_SCALE,
     build_query,
     compare_strategies,
+    sensor_events,
     stock_events,
 )
+from repro.costmodel.model import CostParameters
 from repro.obs import MetricsRegistry, TraceRecorder, populate_from_summary
 from repro.simulator import simulate
 from repro.simulator.metrics import SimResult
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "DEFAULT_THRESHOLD",
     "run_bench",
     "validate_snapshot",
@@ -48,7 +51,14 @@ __all__ = [
 ]
 
 #: Version tag embedded in every snapshot; bump on layout changes.
-SNAPSHOT_SCHEMA = 1
+#: Schema 2 added the sensors-dataset scenario and the optional
+#: ``tuned_parameters`` block.
+SNAPSHOT_SCHEMA = 2
+
+#: Snapshot versions the validator and comparator accept.  Old schema-1
+#: snapshots stay loadable so the trajectory spans the bump; scenarios a
+#: baseline lacks are skipped, not failed.
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Relative throughput drop that fails the comparison.
 DEFAULT_THRESHOLD = 0.15
@@ -94,6 +104,7 @@ def run_bench(
     seed: int = DEFAULT_SCALE.seed,
     date: str | None = None,
     registry: MetricsRegistry | None = None,
+    tuned_parameters: CostParameters | None = None,
 ) -> dict:
     """Run the benchmark scenarios and return the snapshot dict.
 
@@ -101,6 +112,12 @@ def run_bench(
     snapshot records which mode produced it, and the comparator refuses to
     compare across modes).  Passing a :class:`MetricsRegistry` additionally
     populates it with every run's obs summary for ``--metrics-out``.
+
+    ``tuned_parameters`` (e.g. ``autotune(...).tuned``) adds a
+    ``hypersonic_tuned`` row to the throughput scenarios — hypersonic
+    planned with the tuned model against the shared world costs — and
+    records the tuned constants in the snapshot, so the trajectory pins
+    tuned-vs-default side by side.
     """
     scale = BenchScale(
         num_events=800 if quick else DEFAULT_SCALE.num_events, seed=seed
@@ -125,6 +142,20 @@ def run_bench(
         spec.pattern, events, cores=cores,
         strategies=_THROUGHPUT_STRATEGIES, scale=scale,
         tracer_factory=factory, seed=seed,
+        tuned_parameters=tuned_parameters,
+    )
+
+    # Second dataset (schema 2): the synthetic sensor stream exercises a
+    # different type alphabet and selectivity regime than the stock one.
+    sensor_stream = sensor_events(scale)
+    sensor_spec = build_query(
+        "sensors", "seq", length, scale.base_window, sensor_stream, scale
+    )
+    sensor_results = compare_strategies(
+        sensor_spec.pattern, sensor_stream, cores=cores,
+        strategies=_THROUGHPUT_STRATEGIES, scale=scale,
+        tracer_factory=lambda name: TraceRecorder(), seed=seed,
+        tuned_parameters=tuned_parameters,
     )
 
     # fig8-style paced latency: everyone receives the same offered load,
@@ -151,6 +182,17 @@ def run_bench(
             "strategies": {
                 name: _strategy_record(result)
                 for name, result in throughput_results.items()
+            },
+        },
+        "sensors_throughput": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "dataset": "sensors",
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in sensor_results.items()
             },
         },
         "fig8_latency": {
@@ -181,6 +223,8 @@ def run_bench(
         "seed": seed,
         "scenarios": scenarios,
     }
+    if tuned_parameters is not None:
+        snapshot["tuned_parameters"] = tuned_parameters.as_dict()
     validate_snapshot(snapshot)
     return snapshot
 
@@ -192,8 +236,11 @@ def validate_snapshot(snapshot: Mapping) -> None:
 
     if not isinstance(snapshot, Mapping):
         fail("not a mapping")
-    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
-        fail(f"schema must be {SNAPSHOT_SCHEMA}, got {snapshot.get('schema')}")
+    if snapshot.get("schema") not in SUPPORTED_SCHEMAS:
+        fail(
+            f"schema must be one of {SUPPORTED_SCHEMAS}, "
+            f"got {snapshot.get('schema')}"
+        )
     if snapshot.get("kind") != "hypersonic-bench":
         fail(f"kind must be 'hypersonic-bench', got {snapshot.get('kind')}")
     for key, kind in (("date", str), ("quick", bool), ("seed", int)):
@@ -270,7 +317,10 @@ def compare_snapshots(previous: Mapping, current: Mapping,
     A cell regresses when its throughput drops by more than *threshold*
     relative to *previous*, or its match count changes (correctness, not
     perf).  Snapshots from different modes (quick vs. full) or seeds are
-    not comparable and come back as all-skipped.
+    not comparable and come back as all-skipped.  Differing (supported)
+    schema versions are fine: the shared scenarios are compared, and
+    scenarios or strategies the baseline lacks — e.g. the schema-2 sensors
+    dataset against a schema-1 baseline — are noted as skipped.
     """
     validate_snapshot(previous)
     validate_snapshot(current)
@@ -285,6 +335,11 @@ def compare_snapshots(previous: Mapping, current: Mapping,
             "snapshots use different modes/seeds; not comparable"
         )
         return report
+    if previous.get("schema") != current.get("schema"):
+        report["skipped"].append(
+            f"schema {previous.get('schema')} baseline vs "
+            f"{current.get('schema')} current; comparing shared scenarios"
+        )
     for name, scenario in current["scenarios"].items():
         base_scenario = previous["scenarios"].get(name)
         if base_scenario is None:
@@ -340,7 +395,7 @@ def format_snapshot(snapshot: Mapping) -> str:
         lines.append(f"\n{name}  "
                      f"[{scenario['events']} events, {scenario['cores']} cores]")
         header = (
-            f"  {'strategy':12s} {'throughput':>12s} {'p50 lat':>10s} "
+            f"  {'strategy':16s} {'throughput':>12s} {'p50 lat':>10s} "
             f"{'p95 lat':>10s} {'matches':>8s} {'calib err':>10s}"
         )
         lines.append(header)
@@ -348,7 +403,7 @@ def format_snapshot(snapshot: Mapping) -> str:
         for strategy, cell in scenario["strategies"].items():
             error = cell.get("calibration_error")
             lines.append(
-                f"  {strategy:12s} {cell['throughput']:12.4f} "
+                f"  {strategy:16s} {cell['throughput']:12.4f} "
                 f"{cell['p50_latency']:10.1f} {cell['p95_latency']:10.1f} "
                 f"{cell['matches']:8d} "
                 + (f"{error:10.3f}" if error is not None else f"{'-':>10s}")

@@ -23,6 +23,13 @@ code:
     Run the pinned-seed benchmark scenarios; ``--record`` appends a
     ``BENCH_<date>.json`` snapshot to the regression trajectory and
     compares it against the newest previous one.
+
+``autotune``
+    Closed-loop cost-model calibration: run a traced simulation, fit the
+    planner's cost constants to the observed per-agent load shares,
+    re-plan, and repeat (``repro.costmodel.fitting``).  With
+    ``--trace-jsonl`` it instead fits offline from an existing recorded
+    trace without running anything.
 """
 
 from __future__ import annotations
@@ -154,6 +161,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report regressions without failing")
     bench.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="export bench metrics (Prometheus text / .json)")
+    bench.add_argument("--tune", action="store_true",
+                       help="also record an autotuned hypersonic row per "
+                            "scenario (tuned-vs-default trajectory)")
+
+    tune = commands.add_parser(
+        "autotune",
+        help="closed-loop cost-model calibration on the simulator",
+    )
+    tune.add_argument("dataset", nargs="?", choices=["stocks", "sensors"])
+    tune.add_argument("input", nargs="?",
+                      help="stream CSV produced by `generate`")
+    tune.add_argument("--template", choices=["seq", "kleene", "negation"],
+                      default="seq")
+    tune.add_argument("--length", type=int, default=3)
+    tune.add_argument("--window", type=float, default=30.0)
+    tune.add_argument("--selectivity", type=float, default=0.2)
+    tune.add_argument("--cores", type=int, default=8)
+    tune.add_argument("--rounds", type=int, default=3,
+                      help="maximum measured autotune rounds")
+    tune.add_argument("--seed", type=int, default=7)
+    tune.add_argument(
+        "--world", metavar="K=V[,K=V...]", default=None,
+        help="override the simulated deployment's actual costs "
+             "(e.g. lock=2.4); fields of CostParameters",
+    )
+    tune.add_argument(
+        "--model", metavar="K=V[,K=V...]", default=None,
+        help="initial planner cost model (defaults to the world costs)",
+    )
+    tune.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="offline mode: fit from this recorded JSONL trace instead "
+             "of running the simulator",
+    )
+    tune.add_argument("--json", action="store_true",
+                      help="emit the result as JSON instead of text")
     return parser
 
 
@@ -456,8 +499,45 @@ def _command_bench(args) -> int:
 
         _check_parent_dir(args.metrics_out, "--metrics-out")
         registry = MetricsRegistry()
+
+    tuned = None
+    if args.tune:
+        from repro.bench.harness import (
+            BenchScale,
+            DEFAULT_SCALE,
+            build_query,
+            default_cache,
+            default_costs,
+            stock_events,
+        )
+        from repro.costmodel.fitting import autotune
+
+        scale = BenchScale(
+            num_events=800 if args.quick else DEFAULT_SCALE.num_events,
+            seed=args.seed,
+        )
+        cores = 4 if args.quick else scale.base_cores
+        length = 3 if args.quick else scale.base_length
+        events = stock_events(scale)
+        spec = build_query(
+            "stocks", "seq", length, scale.base_window, events, scale
+        )
+        tune_result = autotune(
+            spec.pattern, events, num_cores=cores,
+            costs=default_costs(), cache=default_cache(),
+            seed=args.seed, agent_dynamic=True,
+        )
+        tuned = tune_result.tuned
+        print(
+            f"autotune: mean |rel err| "
+            f"{tune_result.initial_error:.4f} -> "
+            f"{tune_result.final_error:.4f} over "
+            f"{len(tune_result.rounds)} round(s)\n"
+        )
+
     snapshot = run_bench(
-        quick=args.quick, seed=args.seed, registry=registry
+        quick=args.quick, seed=args.seed, registry=registry,
+        tuned_parameters=tuned,
     )
     print(format_snapshot(snapshot))
     if registry is not None:
@@ -508,6 +588,114 @@ def _command_bench(args) -> int:
     return 0
 
 
+def _parse_costs(spec: str | None, flag: str):
+    """``lock=2.4,comparison=1.0`` -> CostParameters over the defaults."""
+    from repro.costmodel import CostParameters
+
+    if spec is None:
+        return None
+    overrides = {}
+    valid = CostParameters().as_dict()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or key not in valid:
+            raise SystemExit(
+                f"{flag}: expected K=V with K in "
+                f"{sorted(valid)}, got {part!r}"
+            )
+        try:
+            caster = int if isinstance(valid[key], int) else float
+            overrides[key] = caster(value)
+        except ValueError:
+            raise SystemExit(f"{flag}: invalid number in {part!r}") from None
+    try:
+        return CostParameters(**overrides)
+    except Exception as exc:
+        raise SystemExit(f"{flag}: {exc}") from None
+
+
+def _format_parameters(params) -> str:
+    fields = params.as_dict()
+    return "  ".join(
+        f"{key}={fields[key]:.6g}"
+        for key in ("comparison", "lock", "queue_push",
+                    "cache_penalty", "sync_overhead")
+    )
+
+
+def _command_autotune(args) -> int:
+    import json as _json
+
+    from repro.costmodel import fit_from_trace
+
+    model = _parse_costs(args.model, "--model")
+    if args.trace_jsonl:
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(args.trace_jsonl)
+        fit = fit_from_trace(events, base=model)
+        if fit is None:
+            print(
+                f"{args.trace_jsonl}: trace has no fittable allocation "
+                "plan (needs an alloc_plan event with feature rows and "
+                "observed busy spans)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(_json.dumps(fit.as_dict(), indent=1, sort_keys=True))
+            return 0
+        print(f"trace: {args.trace_jsonl} ({len(events)} events)")
+        print(
+            f"share error: {fit.error_before:.4f} -> {fit.error_after:.4f}"
+            f" ({'improved' if fit.improved else 'incumbent kept'})"
+        )
+        print(f"fitted model: {_format_parameters(fit.parameters)}")
+        return 0
+
+    if not args.dataset or not args.input:
+        raise SystemExit(
+            "autotune needs a dataset and an input CSV (or --trace-jsonl "
+            "for offline fitting)"
+        )
+    from repro.costmodel import autotune
+
+    world = _parse_costs(args.world, "--world")
+    source = stream_source(args.input)
+    spec = _build_query(args, source)
+    if not args.json:
+        print(f"query: {spec.pattern.describe()}")
+    result = autotune(
+        spec.pattern, source, num_cores=args.cores, costs=world,
+        model=model, max_rounds=args.rounds, seed=args.seed,
+    )
+    if args.json:
+        print(_json.dumps(result.as_dict(), indent=1, sort_keys=True))
+        return 0
+    header = (
+        f"{'round':>5s} {'mean |rel err|':>14s} {'throughput':>11s} "
+        f"{'matches':>8s} {'verdict':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rnd in result.rounds:
+        print(
+            f"{rnd.round:5d} {rnd.mean_abs_relative_error:14.4f} "
+            f"{rnd.throughput:11.4f} {rnd.matches:8d} {rnd.verdict:>10s}"
+        )
+    print(
+        f"error {result.initial_error:.4f} -> {result.final_error:.4f} "
+        f"({'improved' if result.improved else 'no improvement'}; "
+        f"{'converged' if result.converged else 'round cap reached'})"
+    )
+    print(f"tuned model: {_format_parameters(result.tuned)}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -516,6 +704,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _command_simulate,
         "obs-report": _command_obs_report,
         "bench": _command_bench,
+        "autotune": _command_autotune,
     }
     try:
         return handlers[args.command](args)

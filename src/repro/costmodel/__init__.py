@@ -1,7 +1,17 @@
 """HYPERSONIC cost model: load, allocation, memory, statistics estimation."""
 
+from repro.costmodel.fitting import (
+    AutotuneResult,
+    AutotuneRound,
+    FitResult,
+    autotune,
+    fit_cost_parameters,
+    fit_from_trace,
+    share_error,
+)
 from repro.costmodel.memory import AgentMemory, expected_memory, total_expected_memory
 from repro.costmodel.model import (
+    LOAD_FEATURE_NAMES,
     AgentLoad,
     CostParameters,
     LoadModel,
@@ -21,6 +31,7 @@ __all__ = [
     "AgentLoad",
     "CostParameters",
     "LoadModel",
+    "LOAD_FEATURE_NAMES",
     "WorkloadStatistics",
     "average_match_sizes",
     "kleene_match_rate",
@@ -29,4 +40,11 @@ __all__ = [
     "proportional_allocation",
     "estimate_statistics",
     "statistics_from_sample",
+    "FitResult",
+    "AutotuneRound",
+    "AutotuneResult",
+    "share_error",
+    "fit_cost_parameters",
+    "fit_from_trace",
+    "autotune",
 ]

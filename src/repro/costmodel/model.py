@@ -38,11 +38,20 @@ __all__ = [
     "WorkloadStatistics",
     "AgentLoad",
     "LoadModel",
+    "LOAD_FEATURE_NAMES",
     "match_arrival_rates",
     "kleene_match_rate",
     "average_match_sizes",
     "proportional_allocation",
 ]
+
+#: Names of the columns of :meth:`LoadModel.load_features`, in order.  The
+#: fourth column's fitted coefficient is ``comparison * cache_penalty``
+#: (the cache term multiplies the comparison work), the rest map directly
+#: onto :class:`CostParameters` fields.
+LOAD_FEATURE_NAMES = (
+    "comparison", "lock", "queue_push", "cache_penalty", "sync_overhead",
+)
 
 # Truncation guard for the Kleene geometric series: enough terms for the
 # truncated-sum semantics of the paper while avoiding float overflow.
@@ -65,10 +74,33 @@ class CostParameters:
     queue_push: float = 0.05      # q_i — one producer-consumer queue send
     pointer_size: int = 8         # p — bytes per stored event pointer
     match_overhead: int = 32      # bytes of object overhead per buffered match
+    # Planner-side correction terms fitted from observed traces (see
+    # repro.costmodel.fitting).  ``cache_penalty`` inflates an agent's
+    # computational load super-linearly with its match-buffer pressure
+    # (m_i * W items scanned per comparison pass), the closed-form stand-in
+    # for the cache effects of Section 5.2.1; ``sync_overhead`` is a flat
+    # per-agent coordination cost.  Both default to zero, leaving the
+    # closed-form Theorem 1-3 model — and every simulated clock — exactly
+    # as before.
+    cache_penalty: float = 0.0    # per (m_i * W) multiplier on comp_i
+    sync_overhead: float = 0.0    # flat additive term on sync_i
 
     def __post_init__(self) -> None:
-        if min(self.comparison, self.lock, self.queue_push) < 0:
+        if min(self.comparison, self.lock, self.queue_push,
+               self.cache_penalty, self.sync_overhead) < 0:
             raise AllocationError("cost parameters must be non-negative")
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view (snapshots, CLI output, fit reports)."""
+        return {
+            "comparison": self.comparison,
+            "lock": self.lock,
+            "queue_push": self.queue_push,
+            "pointer_size": self.pointer_size,
+            "match_overhead": self.match_overhead,
+            "cache_penalty": self.cache_penalty,
+            "sync_overhead": self.sync_overhead,
+        }
 
 
 @dataclass(frozen=True)
@@ -292,18 +324,10 @@ class LoadModel:
             return self.comparison_costs[agent]
         return self.costs.comparison
 
-    def agent_loads(self, total_units: int) -> list[AgentLoad]:
-        """Per-agent loads under the equal-split approximation for acc_i.
-
-        ``total_units`` is ``n`` in the paper's acc_i formula; the model
-        assumes ``n/2m`` workers of each role per agent when estimating the
-        buffer-access count (Section 3.3.1).
-        """
+    def _arrival_outputs(self) -> tuple[list[float], list[float]]:
+        """Per-agent (arrival, output) match rates, preferring measured ones."""
         num_agents = self.num_agents
-        if num_agents == 0:
-            return []
         measured = self.stats.match_rates
-        stage_work = self.stats.stage_work
         if len(measured) >= num_agents + 1:
             # Measured rates cover agents 0..m-1 plus the final output.
             arrival = list(measured[:num_agents])
@@ -318,6 +342,61 @@ class LoadModel:
                 self.stats, self.window, self.kleene_stages
             )
             outputs = output_rates(self.stats, self.window, self.kleene_stages)
+        return arrival, outputs
+
+    def load_features(self, total_units: int) -> list[tuple[float, ...]]:
+        """Per-agent linear decomposition of :meth:`agent_loads`.
+
+        Row ``i`` holds the workload-side coefficients such that agent
+        ``i``'s modelled load equals, for parameters ``(c, b, q, γ, σ)``
+        (comparison, lock, queue_push, cache_penalty, sync_overhead)::
+
+            load_i = c*F[0] + b*F[1] + q*F[2] + (c*γ)*F[3] + σ*F[4]
+
+        with feature names :data:`LOAD_FEATURE_NAMES`.  This is the design
+        matrix of the calibration fitter (:mod:`repro.costmodel.fitting`):
+        loads are *linear* in the fit coefficients, so fitting the cost
+        constants to observed load shares is a small non-negative
+        least-squares problem.
+        """
+        num_agents = self.num_agents
+        if num_agents == 0:
+            return []
+        arrival, outputs = self._arrival_outputs()
+        stage_work = self.stats.stage_work
+        per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
+        rows: list[tuple[float, ...]] = []
+        for agent in range(num_agents):
+            stage = agent + 1
+            e_i = self.stats.rates[stage]
+            m_i = arrival[agent]
+            if len(stage_work) > stage:
+                comp_base = stage_work[stage]
+            else:
+                comp_base = 2.0 * e_i * m_i * self.window
+            comp_base = min(comp_base, _RATE_CAP)
+            acc = min((e_i + m_i) * per_role, _RATE_CAP)
+            rows.append((
+                comp_base,
+                acc,
+                min(outputs[agent], _RATE_CAP),
+                min(comp_base * m_i * self.window, _RATE_CAP),
+                1.0,
+            ))
+        return rows
+
+    def agent_loads(self, total_units: int) -> list[AgentLoad]:
+        """Per-agent loads under the equal-split approximation for acc_i.
+
+        ``total_units`` is ``n`` in the paper's acc_i formula; the model
+        assumes ``n/2m`` workers of each role per agent when estimating the
+        buffer-access count (Section 3.3.1).
+        """
+        num_agents = self.num_agents
+        if num_agents == 0:
+            return []
+        arrival, outputs = self._arrival_outputs()
+        stage_work = self.stats.stage_work
         per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
         loads: list[AgentLoad] = []
         for agent in range(num_agents):
@@ -330,8 +409,12 @@ class LoadModel:
                 comp = (
                     2.0 * self._comparison_cost(agent) * e_i * m_i * self.window
                 )
+            if self.costs.cache_penalty:
+                comp *= 1.0 + self.costs.cache_penalty * m_i * self.window
             acc = (e_i + m_i) * per_role
             sync = acc * self.costs.lock + self.costs.queue_push * outputs[agent]
+            if self.costs.sync_overhead:
+                sync += self.costs.sync_overhead
             loads.append(
                 AgentLoad(
                     agent=agent,

@@ -31,6 +31,11 @@ class AllocationPlan:
     per_agent: tuple[int, ...]
     loads: tuple[float, ...]
     scheme: str
+    #: Per-agent feature rows (``LoadModel.load_features``) — the linear
+    #: decomposition of each load over the fittable cost constants.  Kept
+    #: with the plan so a recorded trace alone suffices to re-fit the
+    #: constants offline (``repro.costmodel.fitting.fit_from_trace``).
+    features: tuple[tuple[float, ...], ...] = ()
 
     @property
     def total_units(self) -> int:
@@ -49,6 +54,7 @@ class AllocationPlan:
             "per_agent": list(self.per_agent),
             "loads": list(self.loads),
             "scheme": self.scheme,
+            "features": [list(row) for row in self.features],
         }
 
 
@@ -73,6 +79,10 @@ def allocate_units(
         raise AllocationError(
             f"{total_units} units cannot cover {num_agents} agents"
         )
+    if scheme not in ("cost", "equal"):
+        raise AllocationError(f"unknown allocation scheme {scheme!r}")
+    model = LoadModel.for_nfa(nfa, stats, costs)
+    features = tuple(model.load_features(total_units))
     if scheme == "equal":
         base = total_units // num_agents
         per_agent = [base] * num_agents
@@ -82,10 +92,11 @@ def allocate_units(
             per_agent=tuple(per_agent),
             loads=tuple(1.0 for _ in range(num_agents)),
             scheme=scheme,
+            features=features,
         )
-    if scheme != "cost":
-        raise AllocationError(f"unknown allocation scheme {scheme!r}")
-    model = LoadModel.for_nfa(nfa, stats, costs)
     loads = tuple(load.total for load in model.agent_loads(total_units))
     per_agent = proportional_allocation(loads, total_units)
-    return AllocationPlan(per_agent=tuple(per_agent), loads=loads, scheme=scheme)
+    return AllocationPlan(
+        per_agent=tuple(per_agent), loads=loads, scheme=scheme,
+        features=features,
+    )

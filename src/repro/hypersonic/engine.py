@@ -165,7 +165,8 @@ class HypersonicEngine:
             if self.tracer.enabled:
                 plan = self.allocation_plan.describe()
                 self.tracer.alloc_plan(
-                    0.0, plan["per_agent"], plan["loads"], plan["scheme"]
+                    0.0, plan["per_agent"], plan["loads"], plan["scheme"],
+                    features=plan["features"],
                 )
 
         splitter = Splitter(nfa=nfa, tracer=self.tracer)

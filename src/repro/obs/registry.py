@@ -331,8 +331,8 @@ class MetricsTracer(Tracer):
         self._dropped.inc(1, **self._labels(type=event_type))
         self.inner.splitter_drop(ts, event_type)
 
-    def alloc_plan(self, ts, per_agent, loads, scheme) -> None:
-        self.inner.alloc_plan(ts, per_agent, loads, scheme)
+    def alloc_plan(self, ts, per_agent, loads, scheme, features=None) -> None:
+        self.inner.alloc_plan(ts, per_agent, loads, scheme, features=features)
 
     def fusion_plan(self, ts, groups, per_agent) -> None:
         self.inner.fusion_plan(ts, groups, per_agent)

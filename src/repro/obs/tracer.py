@@ -101,8 +101,15 @@ class Tracer:
         """The splitter dropped an event of a type the pattern ignores."""
 
     def alloc_plan(self, ts: float, per_agent: list[int], loads: list[float],
-                   scheme: str) -> None:
-        """The outer allocation (Theorem 1 / equal split) was decided."""
+                   scheme: str,
+                   features: list[tuple[float, ...]] | None = None) -> None:
+        """The outer allocation (Theorem 1 / equal split) was decided.
+
+        *features* is the optional per-agent linear decomposition of the
+        loads over the fittable cost constants
+        (:data:`repro.costmodel.model.LOAD_FEATURE_NAMES`); recording it
+        makes the trace self-contained for offline cost-model fitting.
+        """
 
     def fusion_plan(self, ts: float, groups: list[list[int]],
                     per_agent: list[int]) -> None:
@@ -164,15 +171,18 @@ class TraceRecorder(Tracer):
         ))
 
     def alloc_plan(self, ts: float, per_agent: list[int], loads: list[float],
-                   scheme: str) -> None:
-        self.events.append(TraceEvent(
-            TraceKind.ALLOC_PLAN, ts,
-            args={
-                "per_agent": list(per_agent),
-                "loads": [round(load, 6) for load in loads],
-                "scheme": scheme,
-            },
-        ))
+                   scheme: str,
+                   features: list[tuple[float, ...]] | None = None) -> None:
+        args = {
+            "per_agent": list(per_agent),
+            "loads": [round(load, 6) for load in loads],
+            "scheme": scheme,
+        }
+        if features:
+            args["features"] = [
+                [round(value, 9) for value in row] for row in features
+            ]
+        self.events.append(TraceEvent(TraceKind.ALLOC_PLAN, ts, args=args))
 
     def fusion_plan(self, ts: float, groups: list[list[int]],
                     per_agent: list[int]) -> None:

@@ -76,13 +76,22 @@ class HypersonicSimulation:
         strategy_name: str = "hypersonic",
         pace: float | None = None,
         tracer: Tracer | None = None,
+        model_costs: CostParameters | None = None,
     ) -> None:
+        # ``costs`` drives the virtual clock — the simulated deployment's
+        # actual per-action costs.  ``model_costs`` is the *planner's*
+        # cost model (allocation, fusion, predicted loads); it defaults to
+        # the world costs, but calibration auto-tuning
+        # (repro.costmodel.fitting.autotune) runs the two separately: the
+        # world stays fixed while the planner's model is re-fitted to the
+        # observed trace.
         self.engine = HypersonicEngine(
-            pattern, num_units, config=config, stats=stats, costs=costs,
+            pattern, num_units, config=config, stats=stats,
+            costs=model_costs if model_costs is not None else costs,
             tracer=tracer,
         )
         self.tracer = self.engine.tracer
-        self.costs = self.engine.costs
+        self.costs = costs if costs is not None else CostParameters()
         self.cache = cache if cache is not None else CacheModel()
         self.knobs = _SimKnobs(
             inflight_cap=inflight_cap, snapshot_interval=snapshot_interval
@@ -100,6 +109,7 @@ class HypersonicSimulation:
             snapshot_interval=snapshot_interval,
             latency_seed=self.engine.config.seed,
             tracer=self.tracer,
+            costs=self.costs,
         )
         self._splitter_parked = False
         self._inject_times: dict[int, float] = {}
@@ -375,6 +385,7 @@ def simulate_hypersonic(
     strategy_name: str = "hypersonic",
     pace: float | None = None,
     tracer: Tracer | None = None,
+    model_costs: CostParameters | None = None,
 ) -> SimResult:
     """Convenience wrapper: build, simulate, return the result."""
     simulation = HypersonicSimulation(
@@ -388,5 +399,6 @@ def simulate_hypersonic(
         strategy_name=strategy_name,
         pace=pace,
         tracer=tracer,
+        model_costs=model_costs,
     )
     return simulation.run(events)

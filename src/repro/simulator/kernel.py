@@ -97,8 +97,13 @@ class SimKernel:
         snapshot_interval: int = 128,
         latency_seed: int = 7,
         tracer: Tracer | None = None,
+        costs=None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The CostParameters driving the virtual clock, when the strategy
+        #: simulator shares them — recorded into the traced obs summary so
+        #: an autotuned run documents what it ran with.
+        self.costs = costs
         self.inflight_cap = inflight_cap
         self.pace = pace
         self.snapshot_interval = snapshot_interval
@@ -255,5 +260,7 @@ class SimKernel:
                 calibration = calibration_report(events, total_time=total_time)
                 if calibration is not None:
                     obs["calibration"] = calibration
+            if self.costs is not None:
+                obs["costs"] = self.costs.as_dict()
             result.extra["obs"] = obs
         return result

@@ -125,6 +125,7 @@ def simulate_partitioned(
         snapshot_interval=snapshot_interval,
         latency_seed=seed,
         tracer=tracer,
+        costs=costs,
     )
     tracer = kernel.tracer
     num_units = engine.num_units

@@ -66,8 +66,16 @@ def simulate(
     latency_load: float = 0.8,
     pace: float | None = None,
     tracer: Tracer | None = None,
+    model_costs: CostParameters | None = None,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
+
+    ``model_costs`` separates the planner's cost model from the simulated
+    deployment's actual costs for the planned strategies (``hypersonic``,
+    ``state``): the virtual clock runs on ``costs`` while allocation and
+    fusion decisions use ``model_costs`` — the substrate of calibration
+    auto-tuning (:func:`repro.costmodel.fitting.autotune`).  Partition
+    strategies make no model-driven plan, so it is ignored there.
 
     With ``measure_latency=True`` a second, open-loop pass re-runs the
     workload paced at ``latency_load`` of the capacity the first pass
@@ -120,7 +128,7 @@ def simulate(
             chunk_size=chunk_size, allocation=allocation,
             role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-            pace=pace, tracer=tracer,
+            pace=pace, tracer=tracer, model_costs=model_costs,
         )
     if measure_latency and not source.replayable:
         # The latency measurement re-runs the workload; a single-pass
@@ -133,7 +141,7 @@ def simulate(
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-        pace=None, tracer=tracer,
+        pace=None, tracer=tracer, model_costs=model_costs,
     )
     if not measure_latency or capacity.throughput <= 0:
         return capacity
@@ -144,7 +152,7 @@ def simulate(
         chunk_size=chunk_size, allocation=allocation,
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
-        pace=pace, tracer=None,
+        pace=pace, tracer=None, model_costs=model_costs,
     )
     capacity.avg_latency = paced.avg_latency
     capacity.p95_latency = paced.p95_latency
@@ -171,6 +179,7 @@ def _run_once(
     seed: int,
     pace: float | None,
     tracer: Tracer | None,
+    model_costs: CostParameters | None = None,
 ) -> SimResult:
     if strategy == "sequential":
         return simulate_partitioned(
@@ -213,6 +222,7 @@ def _run_once(
                 strategy_name="state",
                 pace=pace,
                 tracer=tracer,
+                model_costs=model_costs,
             )
         config = HypersonicConfig(
             role_dynamic=role_dynamic,
@@ -234,6 +244,7 @@ def _run_once(
             strategy_name="hypersonic",
             pace=pace,
             tracer=tracer,
+            model_costs=model_costs,
         )
     if strategy == "rip":
         engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)

@@ -27,7 +27,7 @@ class TestRunBench:
         validate_snapshot(snapshot)  # does not raise
         assert snapshot["quick"] is True
         assert set(snapshot["scenarios"]) == {
-            "fig7_throughput", "fig8_latency",
+            "fig7_throughput", "sensors_throughput", "fig8_latency",
         }
         fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
         assert set(fig7) == {
@@ -46,6 +46,19 @@ class TestRunBench:
         for cell in fig8["strategies"].values():
             assert cell["p50_latency"] > 0
 
+    def test_sensors_scenario_not_degenerate(self, snapshot):
+        sensors = snapshot["scenarios"]["sensors_throughput"]
+        assert sensors["dataset"] == "sensors"
+        assert set(sensors["strategies"]) == {
+            "sequential", "hypersonic", "state", "rip", "llsf",
+        }
+        counts = set()
+        for cell in sensors["strategies"].values():
+            assert cell["throughput"] > 0
+            assert cell["matches"] > 0
+            counts.add(cell["matches"])
+        assert len(counts) == 1  # every strategy found the same matches
+
     def test_identical_rerun_is_bit_identical_and_compares_clean(
         self, snapshot
     ):
@@ -55,8 +68,26 @@ class TestRunBench:
         assert report["ok"] is True
         assert report["regressions"] == []
         assert report["improvements"] == []
-        assert report["compared"] == 9  # 5 fig7 + 4 fig8 cells
+        assert report["compared"] == 14  # 5 fig7 + 5 sensors + 4 fig8 cells
         assert report["skipped"] == []
+
+    def test_tuned_parameters_add_a_row_per_throughput_scenario(self):
+        from repro.costmodel import CostParameters
+
+        tuned = CostParameters(lock=0.3, cache_penalty=0.05)
+        snap = run_bench(quick=True, date="2026-01-01",
+                         tuned_parameters=tuned)
+        validate_snapshot(snap)
+        assert snap["tuned_parameters"] == tuned.as_dict()
+        for name in ("fig7_throughput", "sensors_throughput"):
+            strategies = snap["scenarios"][name]["strategies"]
+            assert "hypersonic_tuned" in strategies
+            # Tuning re-plans but never changes which matches are found.
+            assert (strategies["hypersonic_tuned"]["matches"]
+                    == strategies["hypersonic"]["matches"])
+        assert "hypersonic_tuned" not in (
+            snap["scenarios"]["fig8_latency"]["strategies"]
+        )
 
     def test_registry_population(self):
         registry = MetricsRegistry()
@@ -129,8 +160,22 @@ class TestCompare:
         del partial["scenarios"]["fig8_latency"]
         del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
         report = compare_snapshots(partial, snapshot)
-        assert report["compared"] == 4
+        assert report["compared"] == 9
         assert len(report["skipped"]) == 2
+
+    def test_schema_1_baseline_compares_shared_scenarios(self, snapshot):
+        """A pre-sensors (schema 1) baseline stays comparable: the shared
+        scenarios are compared and the new dataset is noted as skipped."""
+        old = copy.deepcopy(snapshot)
+        old["schema"] = 1
+        del old["scenarios"]["sensors_throughput"]
+        validate_snapshot(old)  # still a valid snapshot
+        report = compare_snapshots(old, snapshot)
+        assert report["ok"] is True
+        assert report["compared"] == 9
+        assert any("schema 1" in note for note in report["skipped"])
+        assert any("sensors_throughput" in note
+                   for note in report["skipped"])
 
 
 class TestValidate:

@@ -194,3 +194,100 @@ class TestObsReport:
         assert main(["obs-report", str(jsonl)]) == 0
         out = capsys.readouterr().out
         assert "n/a (trace has no allocation plan)" in out
+
+
+class TestAutotune:
+    @pytest.fixture()
+    def hypersonic_trace(self, stock_csv, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        code = main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "4",
+            "--strategies", "hypersonic",
+            "--trace-jsonl", str(jsonl),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return jsonl
+
+    def test_online_round_table(self, stock_csv, capsys):
+        code = main([
+            "autotune", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "6",
+            "--world", "lock=2.4", "--rounds", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean |rel err|" in out
+        assert "tuned model:" in out
+        assert "error" in out
+
+    def test_online_json(self, stock_csv, capsys):
+        import json
+
+        code = main([
+            "autotune", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "6",
+            "--world", "lock=2.4", "--rounds", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {
+            "rounds", "tuned_parameters", "initial_error", "final_error",
+            "improved", "converged",
+        }
+        assert payload["final_error"] <= payload["initial_error"]
+
+    def test_offline_fit_from_trace(self, hypersonic_trace, capsys):
+        code = main(["autotune", "--trace-jsonl", str(hypersonic_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "share error:" in out
+        assert "fitted model:" in out
+
+    def test_offline_fit_deterministic(self, hypersonic_trace, capsys):
+        outputs = []
+        for _ in range(2):
+            code = main([
+                "autotune", "--trace-jsonl", str(hypersonic_trace), "--json",
+            ])
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_offline_unfittable_trace_fails(self, stock_csv, tmp_path,
+                                            capsys):
+        jsonl = tmp_path / "seq.jsonl"
+        main([
+            "simulate", "stocks", str(stock_csv),
+            "--length", "3", "--window", "20",
+            "--selectivity", "0.4", "--cores", "2",
+            "--strategies", "sequential",
+            "--trace-jsonl", str(jsonl),
+        ])
+        capsys.readouterr()
+        assert main(["autotune", "--trace-jsonl", str(jsonl)]) == 1
+        assert "no fittable allocation plan" in capsys.readouterr().err
+
+    def test_world_flag_rejects_unknown_keys(self, stock_csv):
+        with pytest.raises(SystemExit, match="--world"):
+            main([
+                "autotune", "stocks", str(stock_csv),
+                "--world", "latch=1.0",
+            ])
+
+    def test_requires_input_without_trace(self):
+        with pytest.raises(SystemExit, match="autotune needs a dataset"):
+            main(["autotune"])
+
+
+class TestBenchTune:
+    def test_quick_bench_records_tuned_row(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--tune", "--dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autotune: mean |rel err|" in out
+        assert "hypersonic_tuned" in out

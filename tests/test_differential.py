@@ -1,0 +1,126 @@
+"""Differential suite: every execution strategy, one match set.
+
+Randomized (seeded) small workloads are run through the sequential
+reference engine, the hybrid :class:`HypersonicSimulation`, and every
+partition baseline; all of them must emit *exactly* the same match set —
+keys, not just counts.  The grid is then repeated with fitted cost
+parameters (from :func:`repro.costmodel.fitting.fit_from_trace` on a
+trace of the same workload) standing in for the defaults: cost constants
+steer allocation and the virtual clock, never correctness, so tuning can
+be deployed without re-validating detection semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    JSQEngine,
+    LLSFEngine,
+    RIPEngine,
+    RREngine,
+    StateParallelEngine,
+)
+from repro.core import Pattern
+from repro.costmodel import CostParameters, fit_from_trace
+from repro.obs import TraceRecorder
+from repro.simulator import STRATEGIES, simulate
+from repro.simulator.hypersonic_sim import HypersonicSimulation
+
+from tests.conftest import make_stream, reference_matches
+
+#: (pattern, stream seed) grid — small enough that the full differential
+#: matrix stays in test-suite time, varied enough to cross chunk/segment
+#: boundaries and exercise kleene + negation ownership rules.
+WORKLOADS = [
+    (Pattern.sequence(["A", "B", "C"], window=6.0), 0),
+    (Pattern.sequence(["A", "B", "C"], window=6.0), 11),
+    (Pattern.sequence(["A", "B"], window=3.0), 2),
+    (Pattern.sequence(["A", "B", "C"], window=5.0, kleene=[1]), 3),
+    (Pattern.sequence(["A", "X", "B", "C"], window=6.0, negated=[1]), 4),
+]
+
+NUM_EVENTS = 180
+NUM_UNITS = 4
+
+
+def workload(seed: int):
+    return make_stream(num_events=NUM_EVENTS, seed=seed)
+
+
+def reference_keys(pattern, events) -> set:
+    return {match.key for match in reference_matches(pattern, events)}
+
+
+def fitted_parameters(pattern, events) -> CostParameters:
+    """Cost constants fitted to a trace of this very workload."""
+    recorder = TraceRecorder()
+    simulate(
+        "hypersonic", pattern, events, num_cores=NUM_UNITS, seed=7,
+        tracer=recorder,
+    )
+    fit = fit_from_trace(recorder)
+    return fit.parameters if fit is not None else CostParameters()
+
+
+def partition_engines(pattern):
+    return [
+        RIPEngine(pattern, NUM_UNITS, chunk_size=32),
+        RREngine(pattern, NUM_UNITS),
+        JSQEngine(pattern, NUM_UNITS),
+        LLSFEngine(pattern, NUM_UNITS),
+    ]
+
+
+@pytest.mark.parametrize("pattern,seed", WORKLOADS)
+def test_partition_baselines_match_sequential(pattern, seed):
+    events = workload(seed)
+    expected = reference_keys(pattern, events)
+    for engine in partition_engines(pattern):
+        produced = {match.key for match in engine.run(events)}
+        assert produced == expected, type(engine).__name__
+    state = StateParallelEngine(pattern)
+    assert {match.key for match in state.run(events)} == expected
+
+
+@pytest.mark.parametrize("pattern,seed", WORKLOADS)
+@pytest.mark.parametrize("tuned", [False, True],
+                         ids=["default_costs", "fitted_costs"])
+def test_hypersonic_simulation_matches_sequential(pattern, seed, tuned):
+    events = workload(seed)
+    expected = reference_keys(pattern, events)
+    model = fitted_parameters(pattern, events) if tuned else None
+    sim = HypersonicSimulation(
+        pattern, NUM_UNITS, model_costs=model
+    )
+    sim.run(events)
+    assert {match.key for match in sim.matches} == expected
+
+
+@pytest.mark.parametrize("pattern,seed", WORKLOADS)
+@pytest.mark.parametrize("tuned", [False, True],
+                         ids=["default_costs", "fitted_costs"])
+def test_simulated_strategies_agree_on_match_count(pattern, seed, tuned):
+    """The simulated grid (virtual clock on) under default and fitted
+    constants: every strategy detects exactly the reference count."""
+    events = workload(seed)
+    expected = len(reference_keys(pattern, events))
+    costs = fitted_parameters(pattern, events) if tuned else None
+    for strategy in STRATEGIES:
+        kwargs = {}
+        if strategy == "rip":
+            kwargs["chunk_size"] = 32
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_UNITS, costs=costs,
+            seed=7, **kwargs,
+        )
+        assert result.matches == expected, strategy
+
+
+def test_fitted_parameters_differ_from_defaults():
+    """Sanity: the fitted-costs leg of the grid is not vacuously the
+    default-costs leg again."""
+    pattern, seed = WORKLOADS[0]
+    events = workload(seed)
+    fitted = fitted_parameters(pattern, events)
+    assert fitted != CostParameters()
