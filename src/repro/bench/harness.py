@@ -321,6 +321,7 @@ def paced_latencies(
     load: float = 0.7,
     reference_throughput: float | None = None,
     scale: BenchScale = DEFAULT_SCALE,
+    tracer_factory=None,
 ) -> dict[str, SimResult]:
     """Latency comparison at a common offered load (Figure 8 methodology).
 
@@ -328,6 +329,10 @@ def paced_latencies(
     measured capacity — the same stream rate for everyone, as in the
     paper's runs.  Strategies that cannot sustain the rate accumulate
     queues and show correspondingly higher detection latency.
+
+    ``tracer_factory`` (strategy name -> tracer), as in
+    :func:`compare_strategies`, attaches a tracer to each paced run —
+    e.g. a live :class:`~repro.obs.dashboard.DashboardTracer`.
     """
     cache = default_cache()
     costs = default_costs()
@@ -342,6 +347,8 @@ def paced_latencies(
     results: dict[str, SimResult] = {}
     for strategy in strategies:
         kwargs: dict = {"pace": pace}
+        if tracer_factory is not None:
+            kwargs["tracer"] = tracer_factory(strategy)
         if strategy == "hypersonic":
             kwargs["agent_dynamic"] = True
         if strategy == "rip":

@@ -105,6 +105,7 @@ def run_bench(
     date: str | None = None,
     registry: MetricsRegistry | None = None,
     tuned_parameters: CostParameters | None = None,
+    tracer_factory=None,
 ) -> dict:
     """Run the benchmark scenarios and return the snapshot dict.
 
@@ -118,6 +119,14 @@ def run_bench(
     planned with the tuned model against the shared world costs — and
     records the tuned constants in the snapshot, so the trajectory pins
     tuned-vs-default side by side.
+
+    ``tracer_factory`` overrides the default per-run
+    :class:`~repro.obs.tracer.TraceRecorder` with a custom tracer per
+    benched run — ``repro bench --dashboard`` attaches live dashboards
+    this way.  The factory receives a run label (the strategy name,
+    prefixed for the sensors / paced scenarios) and must return an
+    *enabled* tracer, since the snapshot cells read the traced obs
+    summary.
     """
     scale = BenchScale(
         num_events=800 if quick else DEFAULT_SCALE.num_events, seed=seed
@@ -132,16 +141,14 @@ def run_bench(
         "stocks", "seq", length, scale.base_window, events, scale
     )
 
-    recorders: dict[str, TraceRecorder] = {}
-
-    def factory(name: str) -> TraceRecorder:
-        recorders[name] = TraceRecorder()
-        return recorders[name]
+    if tracer_factory is None:
+        def tracer_factory(name: str) -> TraceRecorder:
+            return TraceRecorder()
 
     throughput_results = compare_strategies(
         spec.pattern, events, cores=cores,
         strategies=_THROUGHPUT_STRATEGIES, scale=scale,
-        tracer_factory=factory, seed=seed,
+        tracer_factory=tracer_factory, seed=seed,
         tuned_parameters=tuned_parameters,
     )
 
@@ -154,8 +161,8 @@ def run_bench(
     sensor_results = compare_strategies(
         sensor_spec.pattern, sensor_stream, cores=cores,
         strategies=_THROUGHPUT_STRATEGIES, scale=scale,
-        tracer_factory=lambda name: TraceRecorder(), seed=seed,
-        tuned_parameters=tuned_parameters,
+        tracer_factory=lambda name: tracer_factory(f"sensors_{name}"),
+        seed=seed, tuned_parameters=tuned_parameters,
     )
 
     # fig8-style paced latency: everyone receives the same offered load,
@@ -164,7 +171,10 @@ def run_bench(
     pace = 1.0 / max(_LATENCY_LOAD * reference, 1e-12)
     latency_results: dict[str, SimResult] = {}
     for strategy in _LATENCY_STRATEGIES:
-        kwargs: dict = {"pace": pace, "seed": seed, "tracer": TraceRecorder()}
+        kwargs: dict = {
+            "pace": pace, "seed": seed,
+            "tracer": tracer_factory(f"paced_{strategy}"),
+        }
         if strategy == "hypersonic":
             kwargs["agent_dynamic"] = True
         if strategy == "rip":

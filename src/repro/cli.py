@@ -19,6 +19,12 @@ code:
     the analysis passes: cost-model calibration and critical-path latency
     attribution.
 
+``watch``
+    Replay a JSONL trace through the terminal dashboard
+    (:mod:`repro.obs.dashboard`): live playback on a TTY, deterministic
+    frame dumps with ``--no-tty`` / ``--final`` / ``--frame`` for CI and
+    golden-pinning.  The live counterpart is ``simulate --dashboard``.
+
 ``bench``
     Run the pinned-seed benchmark scenarios; ``--record`` appends a
     ``BENCH_<date>.json`` snapshot to the regression trajectory and
@@ -134,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
             "text exposition format (.json suffix switches to JSON)"
         ),
     )
+    sim.add_argument(
+        "--dashboard",
+        action="store_true",
+        help=(
+            "attach the live terminal dashboard: on a TTY the view "
+            "repaints on the simulator's snapshot cadence; otherwise the "
+            "final frame is printed after each strategy"
+        ),
+    )
 
     obs = commands.add_parser(
         "obs-report",
@@ -144,6 +159,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the full report as JSON instead of text")
     obs.add_argument("--tolerance", type=float, default=None,
                      help="allocation tolerance for the calibration verdict")
+
+    watch = commands.add_parser(
+        "watch",
+        help="replay a JSONL trace through the terminal dashboard",
+    )
+    watch.add_argument("trace", help="JSONL trace (simulate --trace-jsonl)")
+    watch.add_argument("--fps", type=float, default=8.0,
+                       help="playback frames per second on a TTY (8)")
+    watch.add_argument("--frame", type=int, default=None, metavar="K",
+                       help="render only frame K (negative indexes from "
+                            "the end) instead of playing back")
+    watch.add_argument("--final", action="store_true",
+                       help="render only the end-of-run frame")
+    watch.add_argument("--no-tty", action="store_true",
+                       help="force headless output: every frame printed "
+                            "once, deterministically (what CI pins)")
+    watch.add_argument("--width", type=int, default=None,
+                       help="frame width in columns (80)")
+    watch.add_argument("--height", type=int, default=None,
+                       help="frame height in rows (24)")
+    watch.add_argument("--label", default=None,
+                       help="strategy label for the frame header "
+                            "(default: derived from the file name)")
+    watch.add_argument("--out", metavar="PATH", default=None,
+                       help="also write the last rendered frame to PATH")
 
     bench = commands.add_parser(
         "bench", help="run the pinned benchmark scenarios"
@@ -164,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tune", action="store_true",
                        help="also record an autotuned hypersonic row per "
                             "scenario (tuned-vs-default trajectory)")
+    bench.add_argument("--dashboard", action="store_true",
+                       help="print the dashboard's final frame for every "
+                            "benched run after the comparison table")
 
     tune = commands.add_parser(
         "autotune",
@@ -350,12 +393,25 @@ def _command_simulate(args) -> int:
             from repro.obs import TraceRecorder
 
             kwargs["tracer"] = TraceRecorder()
+        if args.dashboard:
+            from repro.obs import Dashboard, DashboardTracer
+
+            live_view = (
+                Dashboard() if sys.stdout.isatty() else None
+            )
+            kwargs["tracer"] = DashboardTracer(
+                inner=kwargs.get("tracer"), strategy=strategy,
+                dashboard=live_view, min_seconds=0.05,
+            )
         # The CSV source replays from disk for each strategy, so the
         # whole comparison holds one window of events at a time.
         results[strategy] = simulate(
             strategy, spec.pattern, source, num_cores=args.cores,
             cache=cache, **kwargs,
         )
+        if args.dashboard:
+            print(f"-- dashboard ({strategy}) --")
+            print(kwargs["tracer"].final_frame())
         if args.trace:
             from repro.obs import write_chrome_trace
 
@@ -461,12 +517,23 @@ def _format_obs_report(calibration, breakdown) -> str:
     return "\n".join(lines)
 
 
+def _read_trace(path: str):
+    """`read_jsonl` with CLI-grade errors: truncated tails already come
+    back as a warning + partial trace; real corruption exits cleanly."""
+    from repro.obs import read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _command_obs_report(args) -> int:
     import json as _json
 
-    from repro.obs import calibration_report, latency_breakdown, read_jsonl
+    from repro.obs import calibration_report, latency_breakdown
 
-    events = read_jsonl(args.trace)
+    events = _read_trace(args.trace)
     kwargs = {}
     if args.tolerance is not None:
         kwargs["tolerance"] = args.tolerance
@@ -480,6 +547,65 @@ def _command_obs_report(args) -> int:
         return 0
     print(f"trace: {args.trace} ({len(events)} events)")
     print(_format_obs_report(calibration, breakdown))
+    return 0
+
+
+def _command_watch(args) -> int:
+    import os
+
+    from repro.obs.dashboard import (
+        DEFAULT_HEIGHT,
+        DEFAULT_WIDTH,
+        Dashboard,
+        replay_frames,
+    )
+
+    events = _read_trace(args.trace)
+    if not events:
+        print(f"{args.trace}: no trace events to render", file=sys.stderr)
+        return 1
+    label = args.label
+    if label is None:
+        stem = os.path.basename(args.trace)
+        label = stem.rsplit(".", 1)[0] or stem
+    width = args.width if args.width is not None else DEFAULT_WIDTH
+    height = args.height if args.height is not None else DEFAULT_HEIGHT
+    frames = replay_frames(
+        events, width=width, height=height, strategy=label
+    )
+
+    shown: str | None = None
+    if args.final or args.frame is not None:
+        index = -1 if args.final else args.frame
+        try:
+            _ts, shown = frames[index]
+        except IndexError:
+            raise SystemExit(
+                f"--frame {args.frame}: trace has {len(frames)} frames"
+            ) from None
+        print(shown)
+    else:
+        tty = sys.stdout.isatty() and not args.no_tty
+        view = Dashboard(tty=tty)
+        delay = 1.0 / args.fps if args.fps > 0 else 0.0
+        for number, (ts, frame) in enumerate(frames):
+            if tty:
+                view.paint(frame)
+                if delay and number < len(frames) - 1:
+                    import time
+
+                    time.sleep(delay)
+            else:
+                if number:
+                    print()
+                print(f"--- frame {number} t={ts:.1f} ---")
+                print(frame)
+        shown = frames[-1][1]
+    if args.out:
+        _check_parent_dir(args.out, "--out")
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(shown + "\n")
+        print(f"frame written: {args.out}", file=sys.stderr)
     return 0
 
 
@@ -535,11 +661,27 @@ def _command_bench(args) -> int:
             f"{len(tune_result.rounds)} round(s)\n"
         )
 
+    boards: dict[str, object] = {}
+    if args.dashboard:
+        from repro.obs import DashboardTracer, TraceRecorder
+
+        def tracer_factory(name: str):
+            board = DashboardTracer(
+                inner=TraceRecorder(), strategy=name
+            )
+            boards[name] = board
+            return board
+    else:
+        tracer_factory = None
+
     snapshot = run_bench(
         quick=args.quick, seed=args.seed, registry=registry,
-        tuned_parameters=tuned,
+        tuned_parameters=tuned, tracer_factory=tracer_factory,
     )
     print(format_snapshot(snapshot))
+    for name, board in boards.items():
+        print(f"\n-- dashboard ({name}) --")
+        print(board.final_frame())
     if registry is not None:
         _write_metrics(args.metrics_out, registry)
         print(f"\nmetrics: {args.metrics_out}")
@@ -703,6 +845,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _command_detect,
         "simulate": _command_simulate,
         "obs-report": _command_obs_report,
+        "watch": _command_watch,
         "bench": _command_bench,
         "autotune": _command_autotune,
     }

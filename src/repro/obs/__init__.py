@@ -16,7 +16,12 @@ On top of the raw trace sit the analysis passes:
   load-imbalance index and a verdict on the allocation;
 * :class:`MetricsRegistry` / :class:`MetricsTracer` — counters, gauges,
   and histograms with label support, exportable as JSON or Prometheus
-  text exposition (:func:`prometheus_text`).
+  text exposition (:func:`prometheus_text`);
+* :mod:`repro.obs.dashboard` — the terminal dashboard:
+  :func:`render_frame` is a pure plain-text frame renderer,
+  :class:`DashboardTracer` paints it live on the kernel's snapshot
+  cadence, and :func:`replay_frames` / :func:`final_frame` reconstruct
+  the same frames from a recorded JSONL trace (``repro watch``).
 """
 
 from repro.obs.tracer import NULL_TRACER, TraceEvent, TraceKind, TraceRecorder, Tracer
@@ -37,6 +42,14 @@ from repro.obs.registry import (
     MetricsTracer,
     populate_from_summary,
     prometheus_text,
+)
+from repro.obs.dashboard import (
+    Dashboard,
+    DashboardState,
+    DashboardTracer,
+    final_frame,
+    render_frame,
+    replay_frames,
 )
 
 __all__ = [
@@ -60,4 +73,10 @@ __all__ = [
     "MetricsTracer",
     "populate_from_summary",
     "prometheus_text",
+    "Dashboard",
+    "DashboardState",
+    "DashboardTracer",
+    "final_frame",
+    "render_frame",
+    "replay_frames",
 ]

@@ -1,0 +1,623 @@
+"""Terminal dashboard for running simulations — headless-first.
+
+The ROADMAP's live-TUI item, built so CI can exercise every frame without
+a terminal:
+
+* :func:`render_frame` is a **pure function** ``(snapshot, plan, width,
+  height) -> str`` of plain text — per-agent queue-depth sparklines, unit
+  busy-fraction bar meters, cumulative match count/rate, splitter drop
+  counts, and the ALLOC_PLAN predicted load share vs. the live observed
+  busy share per agent with a drift indicator.  No curses, no escape
+  sequences: the same inputs yield byte-identical output, which is what
+  lets CI golden-pin a frame and upload rendered frames as artifacts.
+* :class:`DashboardState` accumulates exactly the render-relevant facts
+  from trace events.  It is fed either **live** (the
+  :class:`DashboardTracer` hooks, repainting on the kernel's snapshot
+  cadence via :meth:`~repro.obs.tracer.Tracer.frame_tick`) or by
+  **replaying** a recorded JSONL trace (:func:`replay_frames` /
+  :func:`final_frame` over :func:`repro.obs.export.read_jsonl` events).
+  Both paths run the same update code, so a live run's final frame is
+  byte-identical to replaying its own trace — the equivalence the tests
+  pin.
+* :class:`Dashboard` is the only piece that touches a terminal: on a TTY
+  it clears and repaints (a ``watch``-style live view); off-TTY it
+  appends frames as a plain log.
+
+Entry points: ``repro simulate --dashboard`` (live),
+``repro watch trace.jsonl [--fps N | --frame K | --final]`` (replay), and
+the ``tracer_factory`` hooks of :mod:`repro.bench.harness` /
+:func:`repro.bench.regression.run_bench`.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from collections import deque
+from typing import IO, Iterable, Mapping
+
+from repro.obs.tracer import NULL_TRACER, TraceEvent, TraceKind, Tracer
+
+__all__ = [
+    "DEFAULT_WIDTH",
+    "DEFAULT_HEIGHT",
+    "HISTORY",
+    "DashboardState",
+    "render_frame",
+    "replay_frames",
+    "final_frame",
+    "Dashboard",
+    "DashboardTracer",
+]
+
+DEFAULT_WIDTH = 80
+DEFAULT_HEIGHT = 24
+
+#: Queue-depth samples kept per agent for the sparkline.
+HISTORY = 32
+
+#: Share-drift thresholds for the per-agent indicator: ``ok`` below
+#: :data:`DRIFT_WARN`, ``!`` up to :data:`DRIFT_ALERT`, ``!!`` beyond.
+DRIFT_WARN = 0.05
+DRIFT_ALERT = 0.15
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_FILL = "█"
+_BAR_EMPTY = "░"
+_SPARK_SLOTS = 16
+_BAR_SLOTS = 24
+
+
+# --------------------------------------------------------------------- #
+# state accumulation
+# --------------------------------------------------------------------- #
+
+
+class DashboardState:
+    """Render-relevant facts accumulated from one run's trace events.
+
+    The ``on_*`` methods mirror the tracer hooks; :meth:`observe` replays
+    a recorded :class:`~repro.obs.tracer.TraceEvent` through the *same*
+    methods.  The only normalisation applied is the one the recorder
+    itself applies when writing a trace (allocation loads rounded to six
+    decimals), so the live and replayed states agree bit for bit.
+    """
+
+    def __init__(self, strategy: str = "", history: int = HISTORY) -> None:
+        self.strategy = strategy
+        self.history = history
+        self.now = 0.0
+        self.items = 0
+        self.matches = 0
+        self.latency_sum = 0.0
+        self.latency_known = 0
+        self.routed = 0
+        self.dropped = 0
+        self.role_switches = 0
+        self.migrations = 0
+        #: Latest allocation/fusion plan: ``{scheme, per_agent, loads}``.
+        self.plan: dict | None = None
+        self.agent_busy: dict[int, float] = {}
+        self.agent_items: dict[int, int] = {}
+        self.unit_busy: dict[int, float] = {}
+        self._channel_depth: dict[int, dict[str, int]] = {}
+        self.depth_history: dict[int, deque] = {}
+
+    def _advance(self, ts: float) -> None:
+        if ts > self.now:
+            self.now = ts
+
+    # -- hook-parallel updates ------------------------------------------ #
+
+    def on_unit_busy(self, start: float, dur: float, unit: int | None,
+                     agent: int | None) -> None:
+        self._advance(start + dur)
+        self.items += 1
+        if agent is not None:
+            self.agent_busy[agent] = self.agent_busy.get(agent, 0.0) + dur
+            self.agent_items[agent] = self.agent_items.get(agent, 0) + 1
+        if unit is not None:
+            self.unit_busy[unit] = self.unit_busy.get(unit, 0.0) + dur
+
+    def on_queue_depth(self, ts: float, agent: int | None, channel: str,
+                       depth: int) -> None:
+        self._advance(ts)
+        agent = -1 if agent is None else agent
+        channels = self._channel_depth.setdefault(agent, {})
+        channels[channel] = depth
+        total = sum(channels.values())
+        history = self.depth_history.setdefault(
+            agent, deque(maxlen=self.history)
+        )
+        # One sampling burst emits every channel at the same virtual
+        # timestamp; collapse the burst into a single history point.
+        if history and history[-1][0] == ts:
+            history[-1] = (ts, total)
+        else:
+            history.append((ts, total))
+
+    def on_splitter_route(self, ts: float) -> None:
+        self._advance(ts)
+        self.routed += 1
+
+    def on_splitter_drop(self, ts: float) -> None:
+        self._advance(ts)
+        self.dropped += 1
+
+    def on_alloc_plan(self, ts: float, per_agent, loads, scheme: str) -> None:
+        self._advance(ts)
+        self.plan = {
+            "scheme": str(scheme),
+            "per_agent": [int(count) for count in per_agent],
+            # The recorder rounds loads to six decimals when writing the
+            # trace; round here too so live == replay.
+            "loads": [round(float(load), 6) for load in loads],
+        }
+
+    def on_fusion_plan(self, ts: float, per_agent) -> None:
+        self._advance(ts)
+        # Fusion plans carry unit counts but no raw loads; the allocated
+        # shares are the plan's load prediction (as in calibration).
+        self.plan = {
+            "scheme": "fusion",
+            "per_agent": [int(count) for count in per_agent],
+            "loads": [float(count) for count in per_agent],
+        }
+
+    def on_role_switch(self, ts: float) -> None:
+        self._advance(ts)
+        self.role_switches += 1
+
+    def on_migration(self, ts: float) -> None:
+        self._advance(ts)
+        self.migrations += 1
+
+    def on_match(self, ts: float, latency: float | None) -> None:
+        self._advance(ts)
+        self.matches += 1
+        if latency is not None:
+            self.latency_sum += latency
+            self.latency_known += 1
+
+    def on_partition_start(self, ts: float) -> None:
+        self._advance(ts)
+
+    # -- replay --------------------------------------------------------- #
+
+    def observe(self, event: TraceEvent) -> None:
+        """Apply one recorded trace event (the replay path)."""
+        kind = event.kind
+        args = event.args
+        if kind == TraceKind.UNIT_BUSY:
+            self.on_unit_busy(event.ts, event.dur, event.unit, event.agent)
+        elif kind == TraceKind.QUEUE_DEPTH:
+            self.on_queue_depth(
+                event.ts, event.agent,
+                args.get("channel", "?"), args.get("depth", 0),
+            )
+        elif kind == TraceKind.SPLITTER_ROUTE:
+            self.on_splitter_route(event.ts)
+        elif kind == TraceKind.SPLITTER_DROP:
+            self.on_splitter_drop(event.ts)
+        elif kind == TraceKind.ALLOC_PLAN:
+            self.on_alloc_plan(
+                event.ts, args.get("per_agent", []),
+                args.get("loads", []), args.get("scheme", "?"),
+            )
+        elif kind == TraceKind.FUSION_PLAN:
+            self.on_fusion_plan(event.ts, args.get("per_agent", []))
+        elif kind == TraceKind.ROLE_SWITCH:
+            self.on_role_switch(event.ts)
+        elif kind == TraceKind.MIGRATION:
+            self.on_migration(event.ts)
+        elif kind == TraceKind.MATCH:
+            self.on_match(event.ts, args.get("latency"))
+        elif kind == TraceKind.PARTITION_START:
+            self.on_partition_start(event.ts)
+
+    # -- snapshot ------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Plain-dict registry snapshot — :func:`render_frame`'s input."""
+        agents: dict = {}
+        keys = (
+            set(self.agent_busy) | set(self.depth_history)
+            | set(self.agent_items)
+        )
+        for agent in sorted(keys):
+            history = self.depth_history.get(agent)
+            depths = [depth for _ts, depth in history] if history else []
+            agents[agent] = {
+                "busy": self.agent_busy.get(agent, 0.0),
+                "items": self.agent_items.get(agent, 0),
+                "depth": depths[-1] if depths else 0,
+                "depth_history": depths,
+            }
+        return {
+            "strategy": self.strategy,
+            "now": self.now,
+            "items": self.items,
+            "matches": {
+                "count": self.matches,
+                "mean_latency": (
+                    self.latency_sum / self.latency_known
+                    if self.latency_known else 0.0
+                ),
+            },
+            "splitter": {"routed": self.routed, "dropped": self.dropped},
+            "dynamics": {
+                "role_switches": self.role_switches,
+                "migrations": self.migrations,
+            },
+            "agents": agents,
+            "units": {
+                unit: {"busy": busy}
+                for unit, busy in sorted(self.unit_busy.items())
+            },
+        }
+
+
+# --------------------------------------------------------------------- #
+# pure renderer
+# --------------------------------------------------------------------- #
+
+
+def _mapping(value) -> Mapping:
+    return value if isinstance(value, Mapping) else {}
+
+
+def _num(value, default: float = 0.0) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        return default
+    return out if math.isfinite(out) else default
+
+
+def _count(value, default: int = 0) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _sorted_items(mapping: Mapping) -> list:
+    try:
+        return sorted(mapping.items(), key=lambda kv: (0.0, float(kv[0]), ""))
+    except (TypeError, ValueError):
+        return sorted(mapping.items(), key=lambda kv: (0.0, 0.0, str(kv[0])))
+
+
+def _sparkline(depths, slots: int) -> str:
+    shown = [max(0.0, _num(depth)) for depth in list(depths)[-slots:]]
+    if not shown:
+        return "·" * slots
+    peak = max(shown)
+    top = len(_SPARK_LEVELS) - 1
+    chars = [
+        _SPARK_LEVELS[0 if peak <= 0 else min(top, int(round(d / peak * top)))]
+        for d in shown
+    ]
+    return "".join(chars).rjust(slots, "·")
+
+
+def _bar(fraction: float, slots: int) -> str:
+    fraction = min(1.0, max(0.0, _num(fraction)))
+    filled = int(round(fraction * slots))
+    return _BAR_FILL * filled + _BAR_EMPTY * (slots - filled)
+
+
+def render_frame(snapshot: Mapping, plan: Mapping | None = None,
+                 width: int = DEFAULT_WIDTH,
+                 height: int = DEFAULT_HEIGHT) -> str:
+    """Render one dashboard frame as plain text.
+
+    A pure function: identical ``(snapshot, plan, width, height)`` yield a
+    byte-identical string (the golden-frame test relies on this).  Output
+    never exceeds *height* lines of *width* characters and contains no
+    control bytes beyond the newlines joining the lines — terminal
+    handling (clear / repaint / colour) belongs to :class:`Dashboard`.
+
+    *snapshot* is a :meth:`DashboardState.snapshot` dict; *plan* is the
+    latest allocation plan (``{scheme, per_agent, loads}``) or ``None``.
+    Malformed or non-finite values degrade to zeros rather than raising —
+    the renderer must survive any registry state.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    snapshot = _mapping(snapshot)
+    plan = _mapping(plan)
+
+    strategy = str(snapshot.get("strategy") or "") or "run"
+    now = _num(snapshot.get("now"))
+    items = _count(snapshot.get("items"))
+    matches = _mapping(snapshot.get("matches"))
+    match_count = _count(matches.get("count"))
+    match_rate = match_count / now if now > 0 else 0.0
+    splitter = _mapping(snapshot.get("splitter"))
+    dynamics = _mapping(snapshot.get("dynamics"))
+
+    lines = [
+        f"repro dashboard · {strategy} · t={now:.1f} · items={items}",
+        (
+            f"matches {match_count} ({match_rate:.4f}/t, lat "
+            f"{_num(matches.get('mean_latency')):.1f}) · split "
+            f"{_count(splitter.get('routed'))} routed "
+            f"{_count(splitter.get('dropped'))} dropped · "
+            f"{_count(dynamics.get('role_switches'))} rs "
+            f"{_count(dynamics.get('migrations'))} mig"
+        ),
+    ]
+
+    plan_units: list[int] = []
+    plan_shares: list[float] | None = None
+    if plan:
+        plan_units = [_count(count) for count in plan.get("per_agent") or []]
+        loads = [max(0.0, _num(load)) for load in plan.get("loads") or []]
+        load_total = sum(loads)
+        if load_total > 0:
+            plan_shares = [load / load_total for load in loads]
+        shares_text = (
+            "/".join(f"{share:.2f}" for share in plan_shares)
+            if plan_shares else "-"
+        )
+        lines.append(
+            f"plan [{plan.get('scheme', '?')}] units "
+            f"{'/'.join(str(count) for count in plan_units) or '-'} "
+            f"pred shares {shares_text}"
+        )
+
+    agents = _mapping(snapshot.get("agents"))
+    if agents:
+        busy_total = sum(
+            max(0.0, _num(_mapping(row).get("busy")))
+            for row in agents.values()
+        )
+        lines.append(
+            f"{'agent':<6}{'un':>3} {'queue depth':<{_SPARK_SLOTS}}"
+            f" {'d':>5} {'obs':>6} {'pred':>6} {'drift':>9}"
+        )
+        for key, row in _sorted_items(agents):
+            row = _mapping(row)
+            index = _count(key, default=-1)
+            label = f"A{key}" if index >= 0 else "sys"
+            units_text = (
+                str(plan_units[index])
+                if 0 <= index < len(plan_units) else "-"
+            )
+            busy = max(0.0, _num(row.get("busy")))
+            observed = busy / busy_total if busy_total > 0 else 0.0
+            spark = _sparkline(row.get("depth_history") or (), _SPARK_SLOTS)
+            depth = _count(row.get("depth"))
+            if plan_shares is not None and 0 <= index < len(plan_shares):
+                predicted = plan_shares[index]
+                drift = observed - predicted
+                mark = (
+                    "ok" if abs(drift) <= DRIFT_WARN
+                    else "!" if abs(drift) <= DRIFT_ALERT else "!!"
+                )
+                pred_text = f"{predicted:.3f}"
+                drift_text = f"{drift:+.3f} {mark}"
+            else:
+                pred_text = "-"
+                drift_text = "-"
+            lines.append(
+                f"{label:<6}{units_text:>3} {spark} {depth:>5} "
+                f"{observed:6.3f} {pred_text:>6} {drift_text:>9}"
+            )
+
+    units = _mapping(snapshot.get("units"))
+    if units:
+        lines.append(f"{'unit':<6}{'busy fraction':<{_BAR_SLOTS + 8}}")
+        for key, row in _sorted_items(units):
+            busy = max(0.0, _num(_mapping(row).get("busy")))
+            fraction = busy / now if now > 0 else 0.0
+            lines.append(
+                f"U{key!s:<5}{_bar(fraction, _BAR_SLOTS)} "
+                f"{min(fraction, 1.0):6.3f}  busy {busy:.1f}"
+            )
+
+    if not agents and not units:
+        lines.append("(no samples yet)")
+
+    if len(lines) > height:
+        hidden = len(lines) - (height - 1)
+        lines = lines[: height - 1] + [f"… +{hidden} more lines"]
+    # Strip control characters smuggled in through labels (arbitrary
+    # snapshot strings must not break the terminal), then clip — the
+    # frame contract is ≤ height lines of ≤ width characters each.
+    return "\n".join(
+        "".join(ch for ch in line if ord(ch) >= 32)[:width]
+        for line in lines
+    )
+
+
+# --------------------------------------------------------------------- #
+# replay
+# --------------------------------------------------------------------- #
+
+
+def _events_of(trace) -> list[TraceEvent]:
+    events = getattr(trace, "events", None)
+    if events is not None:
+        return list(events)
+    return list(trace)
+
+
+def replay_frames(trace: "Iterable[TraceEvent]", *,
+                  width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+                  strategy: str = "",
+                  history: int = HISTORY) -> list[tuple[float, str]]:
+    """Reconstruct the dashboard frames of a recorded trace.
+
+    Returns ``[(virtual_time, frame), ...]`` — one frame per sampling
+    burst (each contiguous run of ``QUEUE_DEPTH`` events marks the
+    kernel's snapshot cadence) plus the final frame after the last event.
+    Deterministic: the same trace yields byte-identical frames.
+    """
+    state = DashboardState(strategy=strategy, history=history)
+    frames: list[tuple[float, str]] = []
+    in_burst = False
+    for event in _events_of(trace):
+        is_sample = event.kind == TraceKind.QUEUE_DEPTH
+        if in_burst and not is_sample:
+            frames.append((
+                state.now,
+                render_frame(state.snapshot(), state.plan, width, height),
+            ))
+        state.observe(event)
+        in_burst = is_sample
+    frames.append((
+        state.now,
+        render_frame(state.snapshot(), state.plan, width, height),
+    ))
+    return frames
+
+
+def final_frame(trace: "Iterable[TraceEvent]", *,
+                width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+                strategy: str = "", history: int = HISTORY) -> str:
+    """The dashboard's end-of-run frame, reconstructed from *trace*."""
+    state = DashboardState(strategy=strategy, history=history)
+    for event in _events_of(trace):
+        state.observe(event)
+    return render_frame(state.snapshot(), state.plan, width, height)
+
+
+# --------------------------------------------------------------------- #
+# live driver
+# --------------------------------------------------------------------- #
+
+
+class Dashboard:
+    """Terminal presenter for frames — the only piece that talks ANSI.
+
+    On a TTY each :meth:`paint` homes the cursor and clears the screen
+    before drawing (a ``watch``-style live view); off-TTY frames are
+    appended as a plain log separated by blank lines, so redirected
+    output stays readable and deterministic.
+    """
+
+    def __init__(self, out: "IO[str] | None" = None, *,
+                 tty: bool | None = None) -> None:
+        self.out = out if out is not None else sys.stdout
+        if tty is None:
+            isatty = getattr(self.out, "isatty", None)
+            tty = bool(isatty()) if callable(isatty) else False
+        self.tty = tty
+        self.frames_painted = 0
+
+    def paint(self, frame: str) -> None:
+        if self.tty:
+            self.out.write("\x1b[H\x1b[2J" + frame + "\n")
+        else:
+            if self.frames_painted:
+                self.out.write("\n")
+            self.out.write(frame + "\n")
+        self.frames_painted += 1
+        flush = getattr(self.out, "flush", None)
+        if callable(flush):
+            flush()
+
+
+class DashboardTracer(Tracer):
+    """Live dashboard sink, chainable like :class:`MetricsTracer`.
+
+    Every hook updates the :class:`DashboardState` and forwards to
+    *inner* — a :class:`~repro.obs.tracer.TraceRecorder`, a
+    :class:`~repro.obs.registry.MetricsTracer` (itself chaining to a
+    recorder), or nothing — so one run can feed the dashboard, the
+    metrics registry, and a full trace at once.  Repainting happens on
+    the kernel's snapshot cadence (:meth:`frame_tick`), optionally
+    wall-clock throttled; the *final* frame of a live run is
+    byte-identical to :func:`final_frame` over the run's recorded JSONL,
+    because rendering reads only the accumulated state, never the tick.
+    """
+
+    enabled = True
+
+    def __init__(self, inner: Tracer | None = None, *, strategy: str = "",
+                 width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+                 dashboard: Dashboard | None = None,
+                 min_seconds: float = 0.0,
+                 history: int = HISTORY) -> None:
+        self.inner = inner if inner is not None else NULL_TRACER
+        self.state = DashboardState(strategy=strategy, history=history)
+        self.width = width
+        self.height = height
+        self.dashboard = dashboard
+        self.min_seconds = min_seconds
+        self._last_paint: float | None = None
+
+    def render(self) -> str:
+        """The frame for the current accumulated state."""
+        return render_frame(
+            self.state.snapshot(), self.state.plan, self.width, self.height
+        )
+
+    def final_frame(self) -> str:
+        """Alias of :meth:`render` named for the end-of-run call site."""
+        return self.render()
+
+    # -- tracer hooks ---------------------------------------------------- #
+
+    def frame_tick(self, ts: float) -> None:
+        self.inner.frame_tick(ts)
+        if self.dashboard is None:
+            return
+        if self.min_seconds > 0:
+            now = time.monotonic()
+            if (self._last_paint is not None
+                    and now - self._last_paint < self.min_seconds):
+                return
+            self._last_paint = now
+        self.dashboard.paint(self.render())
+
+    def unit_busy(self, start, dur, unit, agent, role, item_kind) -> None:
+        self.state.on_unit_busy(start, dur, unit, agent)
+        self.inner.unit_busy(start, dur, unit, agent, role, item_kind)
+
+    def queue_depth(self, ts, agent, channel, depth) -> None:
+        self.state.on_queue_depth(ts, agent, channel, depth)
+        self.inner.queue_depth(ts, agent, channel, depth)
+
+    def splitter_route(self, ts, event_type, pushes) -> None:
+        self.state.on_splitter_route(ts)
+        self.inner.splitter_route(ts, event_type, pushes)
+
+    def splitter_drop(self, ts, event_type) -> None:
+        self.state.on_splitter_drop(ts)
+        self.inner.splitter_drop(ts, event_type)
+
+    def alloc_plan(self, ts, per_agent, loads, scheme, features=None) -> None:
+        self.state.on_alloc_plan(ts, per_agent, loads, scheme)
+        self.inner.alloc_plan(ts, per_agent, loads, scheme, features=features)
+
+    def fusion_plan(self, ts, groups, per_agent) -> None:
+        self.state.on_fusion_plan(ts, per_agent)
+        self.inner.fusion_plan(ts, groups, per_agent)
+
+    def role_switch(self, ts, unit, agent, primary, acted) -> None:
+        self.state.on_role_switch(ts)
+        self.inner.role_switch(ts, unit, agent, primary, acted)
+
+    def migration(self, ts, unit, from_agent, to_agent) -> None:
+        self.state.on_migration(ts)
+        self.inner.migration(ts, unit, from_agent, to_agent)
+
+    def match(self, ts, agent, latency) -> None:
+        self.state.on_match(ts, latency)
+        self.inner.match(ts, agent, latency)
+
+    def partition_start(self, ts, partition, unit) -> None:
+        self.state.on_partition_start(ts)
+        self.inner.partition_start(ts, partition, unit)
+
+    # Exporters accept any object exposing ``events``; delegate to the
+    # inner recorder when it has one (as MetricsTracer does).
+    @property
+    def events(self):
+        return getattr(self.inner, "events", [])

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from typing import Iterable, Sequence
 
 from repro.obs.tracer import TraceEvent, TraceKind, TraceRecorder
@@ -159,13 +160,25 @@ def read_jsonl(path: str) -> list[TraceEvent]:
     The analysis passes (:mod:`repro.obs.analysis`,
     :mod:`repro.obs.calibration`) run identically on a live recorder and
     on a replayed file; blank lines are skipped, unknown keys ignored.
+
+    A malformed *last* line — the partial write a killed run leaves
+    behind — is skipped with a :class:`RuntimeWarning` so ``repro watch``
+    and ``obs-report`` still work on truncated traces.  Corruption
+    anywhere earlier is a real problem and raises :class:`ValueError`
+    with the offending line number.
     """
-    events: list[TraceEvent] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+        lines = handle.readlines()
+    last_content = max(
+        (index for index, line in enumerate(lines) if line.strip()),
+        default=-1,
+    )
+    events: list[TraceEvent] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             record = json.loads(line)
             events.append(TraceEvent(
                 kind=record["kind"],
@@ -175,6 +188,18 @@ def read_jsonl(path: str) -> list[TraceEvent]:
                 agent=record.get("agent"),
                 args=record.get("args", {}),
             ))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if index == last_content:
+                warnings.warn(
+                    f"{path}: skipping truncated final trace line "
+                    f"{index + 1} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}:{index + 1}: malformed trace line: {exc}"
+            ) from exc
     return events
 
 

@@ -354,6 +354,9 @@ class MetricsTracer(Tracer):
     def partition_start(self, ts, partition, unit) -> None:
         self.inner.partition_start(ts, partition, unit)
 
+    def frame_tick(self, ts) -> None:
+        self.inner.frame_tick(ts)
+
     # TraceRecorder compatibility: exporters accept any object exposing
     # ``events``; delegate to the inner recorder when it has one.
     @property

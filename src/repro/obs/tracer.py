@@ -129,6 +129,15 @@ class Tracer:
     def partition_start(self, ts: float, partition: int, unit: int) -> None:
         """A data-parallel partition run was activated on *unit*."""
 
+    def frame_tick(self, ts: float) -> None:
+        """The kernel's snapshot cadence fired (and once more at finish).
+
+        A presentation pulse, not a trace event: recorders ignore it (it
+        never appears in a trace, keeping traced runs bit-identical to
+        untraced ones), while sinks with a display — the live dashboard —
+        use it as their repaint signal.
+        """
+
 
 #: Shared process-wide null tracer instance.
 NULL_TRACER = Tracer()

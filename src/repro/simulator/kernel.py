@@ -202,7 +202,13 @@ class SimKernel:
     # -- sampling cadence and memory peak -------------------------------- #
 
     def snapshot_due(self, counter: int) -> bool:
-        return counter % self.snapshot_interval == 0
+        due = counter % self.snapshot_interval == 0
+        if due and self.tracer.enabled:
+            # Presentation pulse on the same cadence as the samples the
+            # simulator is about to take; recorders ignore it, the live
+            # dashboard repaints on it (repro.obs.dashboard).
+            self.tracer.frame_tick(self.now)
+        return due
 
     def note_memory(self, total_bytes: int) -> None:
         if total_bytes > self.peak_memory:
@@ -263,4 +269,8 @@ class SimKernel:
             if self.costs is not None:
                 obs["costs"] = self.costs.as_dict()
             result.extra["obs"] = obs
+            # Final presentation pulse so a live dashboard paints the
+            # end-of-run state (its frame then matches a replay of the
+            # recorded trace byte for byte).
+            self.tracer.frame_tick(total_time)
         return result

@@ -21,6 +21,10 @@ before committing:
 * ``report`` — ``golden_obs_report.json``: the calibration report and
   latency breakdown computed from that same tiny trace, replayed through
   the JSONL round-trip so the golden also pins trace-file replayability.
+* ``dashboard`` — ``golden_dashboard_frame.txt``: the terminal
+  dashboard's final frame rendered from that same tiny trace via the
+  JSONL replay path (``repro watch --final``).  A diff means the frame
+  renderer or the traced behaviour changed.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ DATA_DIR = Path(__file__).parent / "data"
 GOLDEN_PATH = DATA_DIR / "sim_goldens.json"
 TRACE_GOLDEN_PATH = DATA_DIR / "golden_chrome_trace.json"
 REPORT_GOLDEN_PATH = DATA_DIR / "golden_obs_report.json"
+DASHBOARD_GOLDEN_PATH = DATA_DIR / "golden_dashboard_frame.txt"
 
 PATTERN_TYPES = ["A", "B", "C"]
 PATTERN_WINDOW = 6.0
@@ -151,10 +156,31 @@ def write_report_golden() -> None:
     print(f"wrote {REPORT_GOLDEN_PATH}")
 
 
+def dashboard_frame_payload(tmp_dir: Path) -> str:
+    """Final dashboard frame of the tiny trace, via JSONL replay."""
+    from repro.obs import final_frame, read_jsonl, write_jsonl
+    from tests.test_obs import tiny_trace
+
+    tracer, _result = tiny_trace()
+    path = tmp_dir / "tiny_trace.jsonl"
+    write_jsonl(str(path), tracer)
+    return final_frame(read_jsonl(str(path)), strategy="hypersonic")
+
+
+def write_dashboard_golden() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        frame = dashboard_frame_payload(Path(tmp))
+    DASHBOARD_GOLDEN_PATH.write_text(frame + "\n", encoding="utf-8")
+    print(f"wrote {DASHBOARD_GOLDEN_PATH}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--which", choices=("sim", "trace", "report", "all"), default="all",
+        "--which", choices=("sim", "trace", "report", "dashboard", "all"),
+        default="all",
         help="which golden set to regenerate (default: all)",
     )
     which = parser.parse_args().which
@@ -164,6 +190,8 @@ def main() -> None:
         write_trace_golden()
     if which in ("report", "all"):
         write_report_golden()
+    if which in ("dashboard", "all"):
+        write_dashboard_golden()
 
 
 if __name__ == "__main__":
