@@ -30,6 +30,8 @@ from repro.bench.harness import (
     DEFAULT_SCALE,
     build_query,
     compare_strategies,
+    default_cache,
+    default_costs,
     sensor_events,
     stock_events,
 )
@@ -52,13 +54,14 @@ __all__ = [
 
 #: Version tag embedded in every snapshot; bump on layout changes.
 #: Schema 2 added the sensors-dataset scenario and the optional
-#: ``tuned_parameters`` block.
-SNAPSHOT_SCHEMA = 2
+#: ``tuned_parameters`` block.  Schema 3 added the batched_throughput
+#: scenario (scalar hypersonic vs the batch_size=64 vectorized mode).
+SNAPSHOT_SCHEMA = 3
 
-#: Snapshot versions the validator and comparator accept.  Old schema-1
-#: snapshots stay loadable so the trajectory spans the bump; scenarios a
-#: baseline lacks are skipped, not failed.
-SUPPORTED_SCHEMAS = (1, 2)
+#: Snapshot versions the validator and comparator accept.  Old snapshots
+#: stay loadable so the trajectory spans the bumps; scenarios a baseline
+#: lacks are skipped, not failed.
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: Relative throughput drop that fails the comparison.
 DEFAULT_THRESHOLD = 0.15
@@ -73,6 +76,9 @@ _LATENCY_STRATEGIES = ("sequential", "hypersonic", "rip", "llsf")
 #: HYPERSONIC's measured capacity (the paper paces all strategies at a
 #: common sustainable rate).
 _LATENCY_LOAD = 0.7
+
+#: Micro-batch size of the batched_throughput scenario (schema 3).
+_BATCH_SIZE = 64
 
 
 def _strategy_record(result: SimResult) -> dict:
@@ -165,6 +171,27 @@ def run_bench(
         seed=seed, tuned_parameters=tuned_parameters,
     )
 
+    # Batched execution mode (schema 3): scalar hypersonic vs the same
+    # deployment with batch_size=64 vectorized micro-batching, on the
+    # stock workload.  The rows share every knob except batch_size, so the
+    # cell pair pins the batching speedup itself; the match counts must
+    # agree (the scalar path is the differential oracle).
+    batched_results: dict[str, SimResult] = {}
+    for label, batch_size in (("hypersonic", 1), ("hypersonic_batched", _BATCH_SIZE)):
+        batched_results[label] = simulate(
+            "hypersonic", spec.pattern, events, num_cores=cores,
+            cache=default_cache(), costs=default_costs(),
+            agent_dynamic=True, seed=seed, batch_size=batch_size,
+            tracer=tracer_factory(f"batched_{label}"),
+        )
+    if (batched_results["hypersonic"].matches
+            != batched_results["hypersonic_batched"].matches):
+        raise RuntimeError(
+            "batched execution changed the match count: "
+            f"{batched_results['hypersonic'].matches} scalar vs "
+            f"{batched_results['hypersonic_batched'].matches} batched"
+        )
+
     # fig8-style paced latency: everyone receives the same offered load,
     # derived from HYPERSONIC's capacity measured above (no extra run).
     reference = throughput_results["hypersonic"].throughput
@@ -203,6 +230,17 @@ def run_bench(
             "strategies": {
                 name: _strategy_record(result)
                 for name, result in sensor_results.items()
+            },
+        },
+        "batched_throughput": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "batch_size": _BATCH_SIZE,
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in batched_results.items()
             },
         },
         "fig8_latency": {

@@ -106,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--selectivity", type=float, default=0.2)
     sim.add_argument("--cores", type=int, default=8)
     sim.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "micro-batch size for the batched execution mode (vectorized "
+            "predicate kernels + amortized buffer locks); 1 = scalar path"
+        ),
+    )
+    sim.add_argument(
         "--strategies",
         default="sequential,hypersonic,rip,llsf",
         help="comma-separated strategy list",
@@ -407,7 +417,7 @@ def _command_simulate(args) -> int:
         # whole comparison holds one window of events at a time.
         results[strategy] = simulate(
             strategy, spec.pattern, source, num_cores=args.cores,
-            cache=cache, **kwargs,
+            cache=cache, batch_size=args.batch_size, **kwargs,
         )
         if args.dashboard:
             print(f"-- dashboard ({strategy}) --")

@@ -1,0 +1,706 @@
+"""Vectorized predicate kernels and columnar fragment views.
+
+The batched execution mode (``batch_size > 1``) evaluates a stage's
+conditions over a whole buffer fragment at once instead of pair by pair.
+This module supplies the three pieces it needs:
+
+* **Batched Pearson correlation.**  Histories are centered *once per
+  event* in pure Python — the mean and the sum of squared deviations are
+  computed with exactly the arithmetic of
+  :func:`repro.core.conditions.pearson_correlation`, so the per-row norms
+  are bit-identical to the scalar path.  Each candidate pair then costs a
+  single dot product over the pre-centered rows.  Because only the dot
+  product's summation order differs from the scalar accumulation, the
+  batched coefficient is within ``n * eps`` (≈ 4.5e-15 for 20-deep
+  histories) of the scalar one — far inside the 1e-12 contract the
+  property suite pins.
+
+* **Exact threshold verdicts.**  Correlation *verdicts* must match the
+  scalar oracle exactly, not approximately: one flipped pair changes the
+  match set.  Any pair whose batched coefficient lands within
+  :data:`CORR_BAND` of the threshold is re-checked with the scalar
+  :func:`pearson_correlation`; outside the band the (≤ 1e-12) error cannot
+  flip the sign of ``corr - threshold``.  The same argument makes verdicts
+  identical whether numpy is importable or not.
+
+* **Columnar fragment views.**  :class:`EventColumns` /
+  :class:`MatchColumns` maintain contiguous per-attribute arrays
+  (timestamps, ids, window bounds, plain attributes, centered history
+  matrices) over one :class:`~repro.hypersonic.buffers.FragmentedBuffer`
+  fragment.  Views synchronize incrementally: appends extend the columns,
+  purges bump the fragment's version and trigger a rebuild.
+
+numpy is used when importable; a hand-rolled fallback keeps the core
+dependency-free.  The fallback's dot product accumulates sequentially, so
+its correlations are *bit-identical* to the scalar oracle; the numpy path
+differs only inside the recheck band, which is resolved scalar — either
+way every verdict equals the scalar verdict, and batched runs are
+reproducible across environments.
+
+Attribute comparisons (``AttributeCondition``) involve no arithmetic, only
+comparisons, so the batched path is exact by construction; values that are
+not plain floats (ints keep Python's arbitrary precision) are compared with
+the scalar operator table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.core.conditions import (
+    AndCondition,
+    AttributeCondition,
+    CorrelationCondition,
+    TrueCondition,
+    _OPERATORS,
+    pearson_correlation,
+)
+from repro.core.nfa import Stage, last_bound_event
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: Module-level backend handle.  Tests (and the no-numpy CI job) force the
+#: fallback path by monkeypatching this to ``None``.
+np = _numpy
+
+__all__ = [
+    "CORR_BAND",
+    "have_numpy",
+    "center_history",
+    "batched_pearson",
+    "batched_compare",
+    "HistoryColumn",
+    "ValueColumn",
+    "EventColumns",
+    "MatchColumns",
+    "StageKernel",
+    "compile_stage_kernel",
+]
+
+#: Half-width of the scalar-recheck band around a correlation threshold.
+#: The batched coefficient is within ~1e-14 of the scalar one (see module
+#: docstring); 1e-9 leaves five orders of magnitude of margin while
+#: rechecking a vanishing fraction of pairs.
+CORR_BAND = 1e-9
+
+_MISSING = object()
+
+
+def have_numpy() -> bool:
+    return np is not None
+
+
+# --------------------------------------------------------------------- #
+# Batched Pearson correlation                                            #
+# --------------------------------------------------------------------- #
+
+
+def center_history(seq: Sequence[float]) -> tuple[list[float], float] | None:
+    """Center *seq* exactly as the scalar Pearson does; ``None`` if the
+    correlation is degenerate (too short or constant → always 0.0).
+
+    The mean (``sum/n``) and the sum of squared deviations accumulate in
+    the same order as :func:`pearson_correlation`, so the returned norm is
+    bit-identical to the scalar ``sqrt(sxx)``.
+    """
+    n = len(seq)
+    if n < 2:
+        return None
+    mean = sum(seq) / n
+    centered = [x - mean for x in seq]
+    sxx = 0.0
+    for d in centered:
+        sxx += d * d
+    if sxx == 0.0:
+        return None
+    return centered, math.sqrt(sxx)
+
+
+def batched_pearson(
+    query: Sequence[float], histories: Sequence[Sequence[float]]
+) -> list[float]:
+    """Pearson coefficient of *query* against each row of *histories*.
+
+    Each value is within 1e-12 of ``pearson_correlation(query, row)``; the
+    fallback path is bit-identical to it.  Raises
+    :class:`~repro.core.errors.ConditionError` on a length mismatch, like
+    the scalar function.
+    """
+    column = HistoryColumn()
+    for row in histories:
+        column.append(row)
+    return column.correlations(query, range(len(histories)))
+
+
+def batched_compare(operator: str, lhs: Any, rhs: Any) -> list[bool]:
+    """Elementwise ``lhs <operator> rhs`` where either side may be a scalar.
+
+    Comparisons involve no arithmetic, so numpy (used for float inputs) and
+    the fallback loop agree exactly with ``_OPERATORS``.
+    """
+    op = _OPERATORS[operator]
+    lhs_seq = isinstance(lhs, (list, tuple))
+    rhs_seq = isinstance(rhs, (list, tuple))
+    if np is not None and (lhs_seq or rhs_seq):
+        values = lhs if lhs_seq else rhs
+        if all(type(v) is float for v in values):
+            try:
+                left = np.asarray(lhs, dtype=float) if lhs_seq else lhs
+                right = np.asarray(rhs, dtype=float) if rhs_seq else rhs
+                return _NP_OPERATORS[operator](left, right).tolist()
+            except (TypeError, ValueError):
+                pass
+    if lhs_seq and rhs_seq:
+        return [op(a, b) for a, b in zip(lhs, rhs)]
+    if lhs_seq:
+        return [op(a, rhs) for a in lhs]
+    if rhs_seq:
+        return [op(lhs, b) for b in rhs]
+    return [op(lhs, rhs)]
+
+
+_NP_OPERATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+# --------------------------------------------------------------------- #
+# Columns                                                                #
+# --------------------------------------------------------------------- #
+
+
+class HistoryColumn:
+    """Pre-centered history rows of one fragment, ready for batched dots.
+
+    ``raw[i] is None`` marks a row whose value was missing or not a
+    sequence — those pairs are resolved by the scalar path so error
+    semantics match.  ``norms[i] == 0.0`` marks a degenerate row (constant
+    or short history → correlation 0.0 by the scalar convention).
+    """
+
+    __slots__ = ("raw", "rows", "norms", "_matrix", "_matrix_rows", "_width")
+
+    def __init__(self) -> None:
+        self.raw: list[Sequence[float] | None] = []
+        self.rows: list[list[float] | None] = []
+        self.norms: list[float] = []
+        self._matrix = None
+        self._matrix_rows = 0
+        self._width: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def append(self, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            self.raw.append(None)
+            self.rows.append(None)
+            self.norms.append(0.0)
+            return
+        self.raw.append(value)
+        if self._width is None:
+            self._width = len(value)
+        elif len(value) != self._width:
+            self._width = -1  # ragged: no shared matrix
+        centered = center_history(value)
+        if centered is None:
+            self.rows.append(None)
+            self.norms.append(0.0)
+        else:
+            self.rows.append(centered[0])
+            self.norms.append(centered[1])
+
+    def correlations(self, query: Sequence[float], indices) -> list[float]:
+        """Coefficients of *query* against the rows at *indices* (aligned
+        with *indices*).  Length-mismatched pairs go through the scalar
+        function so they raise exactly as the scalar path would."""
+        indices = list(indices)
+        if not indices:
+            return []
+        qlen = len(query)
+        centered = center_history(query)
+        out: list[float] = [0.0] * len(indices)
+        dense: list[int] = []  # positions in `out` taking the batched dot
+        for pos, i in enumerate(indices):
+            raw = self.raw[i]
+            if raw is None or len(raw) != qlen:
+                # Scalar call: raises on mismatch, exactly like the oracle.
+                out[pos] = pearson_correlation(query, raw if raw is not None else ())
+            elif centered is None or self.norms[i] == 0.0:
+                out[pos] = 0.0
+            else:
+                dense.append(pos)
+        if not dense or centered is None:
+            return out
+        qc, qnorm = centered
+        if np is not None and self._width == qlen:
+            matrix = self._dense_matrix()
+            if matrix is not None:
+                idx = np.asarray([indices[pos] for pos in dense], dtype=np.intp)
+                covs = matrix[idx] @ np.asarray(qc, dtype=float)
+                norms = np.asarray(
+                    [self.norms[indices[pos]] for pos in dense], dtype=float
+                )
+                corrs = covs / (norms * qnorm)
+                for pos, corr in zip(dense, corrs.tolist()):
+                    out[pos] = corr
+                return out
+        for pos in dense:
+            row = self.rows[indices[pos]]
+            cov = 0.0
+            for a, b in zip(row, qc):
+                cov += a * b
+            out[pos] = cov / (self.norms[indices[pos]] * qnorm)
+        return out
+
+    def _dense_matrix(self):
+        """Cache a matrix of centered rows; degenerate rows become zeros
+        (their coefficients are fixed before the dot, so the row content
+        is irrelevant — zeros keep the matrix rectangular)."""
+        if self._width is None or self._width < 0:
+            return None
+        if self._matrix is None or self._matrix_rows != len(self.rows):
+            zeros = [0.0] * self._width
+            self._matrix = np.asarray(
+                [row if row is not None else zeros for row in self.rows],
+                dtype=float,
+            )
+            self._matrix_rows = len(self.rows)
+        return self._matrix
+
+
+class ValueColumn:
+    """Plain attribute values of one fragment, with a float-array cache."""
+
+    __slots__ = ("values", "_floats", "_array", "_array_rows")
+
+    def __init__(self) -> None:
+        self.values: list[Any] = []
+        self._floats = True
+        self._array = None
+        self._array_rows = 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def append(self, value: Any) -> None:
+        self.values.append(value)
+        if type(value) is not float:
+            self._floats = False
+
+    def compare(self, operator: str, other: Any, indices,
+                value_is_left: bool) -> list[bool]:
+        """``values[i] <op> other`` (or flipped) for each index."""
+        op = _OPERATORS[operator]
+        if (
+            np is not None
+            and self._floats
+            and type(other) is float
+            and len(indices) > 1
+        ):
+            if self._array is None or self._array_rows != len(self.values):
+                self._array = np.asarray(self.values, dtype=float)
+                self._array_rows = len(self.values)
+            picked = self._array[np.asarray(list(indices), dtype=np.intp)]
+            fn = _NP_OPERATORS[operator]
+            result = fn(picked, other) if value_is_left else fn(other, picked)
+            return result.tolist()
+        if value_is_left:
+            return [op(self.values[i], other) for i in indices]
+        return [op(other, self.values[i]) for i in indices]
+
+
+def _bound_event(bound: Any):
+    """Kleene positions bind tuples; reduce to the representative event."""
+    if isinstance(bound, tuple):
+        return bound[-1] if bound else None
+    return bound
+
+
+def _extract(event, attribute: str) -> Any:
+    if event is None:
+        return _MISSING
+    return event.attributes.get(attribute, _MISSING)
+
+
+# --------------------------------------------------------------------- #
+# Stage kernels                                                          #
+# --------------------------------------------------------------------- #
+
+
+class _CorrOp:
+    """``Corr(event.attr, other.attr) > threshold`` at one stage."""
+
+    __slots__ = ("other", "attribute", "threshold")
+
+    def __init__(self, other: str, attribute: str, threshold: float) -> None:
+        self.other = other
+        self.attribute = attribute
+        self.threshold = threshold
+
+
+class _AttrOp:
+    """``event.attr <op> other.attr`` (or flipped) at one stage."""
+
+    __slots__ = ("operator", "event_attribute", "other", "other_attribute",
+                 "event_is_left")
+
+    def __init__(self, operator: str, event_attribute: str, other: str,
+                 other_attribute: str, event_is_left: bool) -> None:
+        self.operator = operator
+        self.event_attribute = event_attribute
+        self.other = other
+        self.other_attribute = other_attribute
+        self.event_is_left = event_is_left
+
+
+class StageKernel:
+    """Vectorized evaluation of one stage's conditions over a fragment.
+
+    Evaluation preserves the scalar semantics of :meth:`Stage.accepts`
+    exactly: conditions run in declaration order with short-circuiting
+    (rows failing an earlier condition never see a later one), correlation
+    verdicts inside :data:`CORR_BAND` of the threshold are resolved by the
+    scalar oracle, and rows the kernel cannot evaluate (missing attributes,
+    unexpected value shapes) are delegated to a scalar callback for the
+    identical verdict or exception.
+    """
+
+    __slots__ = ("stage", "position", "ops")
+
+    def __init__(self, stage: Stage, ops: list) -> None:
+        self.stage = stage
+        self.position = stage.item.name
+        self.ops = ops
+
+    # -- event arrives, scan buffered partial matches -------------------- #
+
+    def accepts_over_matches(self, event, columns: "MatchColumns",
+                             indices: list[int],
+                             scalar: Callable[[int], bool]) -> list[int]:
+        """Indices of the partials at *indices* accepting *event*."""
+        alive = indices
+        resolved: list[int] = []
+        for op_index, op in enumerate(self.ops):
+            if not alive:
+                break
+            column = columns.op_column(op_index)
+            if isinstance(op, _CorrOp):
+                query = _extract(event, op.attribute)
+                if query is _MISSING or not isinstance(query, (list, tuple)):
+                    resolved.extend(i for i in alive if scalar(i))
+                    alive = []
+                    break
+                alive = self._filter_corr(op, column, query, alive,
+                                          scalar, resolved)
+            else:
+                value = _extract(event, op.event_attribute)
+                if value is _MISSING:
+                    resolved.extend(i for i in alive if scalar(i))
+                    alive = []
+                    break
+                # Column holds the *match*-side attribute here, so the
+                # column is the left operand iff the event is not.
+                alive = self._filter_attr(op, column, value, alive,
+                                          not op.event_is_left, scalar,
+                                          resolved)
+        if resolved:
+            alive = sorted(alive + resolved)
+        return alive
+
+    # -- match arrives, scan buffered events ----------------------------- #
+
+    def accepts_over_events(self, partial, columns: "EventColumns",
+                            indices: list[int],
+                            scalar: Callable[[int], bool]) -> list[int]:
+        """Indices of the events at *indices* accepted for *partial*."""
+        alive = indices
+        resolved: list[int] = []
+        for op_index, op in enumerate(self.ops):
+            if not alive:
+                break
+            column = columns.op_column(op_index)
+            other = _bound_event(partial.binding.get(op.other))
+            if isinstance(op, _CorrOp):
+                query = _extract(other, op.attribute)
+                if query is _MISSING or not isinstance(query, (list, tuple)):
+                    resolved.extend(i for i in alive if scalar(i))
+                    alive = []
+                    break
+                alive = self._filter_corr(op, column, query, alive,
+                                          scalar, resolved)
+            else:
+                value = _extract(other, op.other_attribute)
+                if value is _MISSING:
+                    resolved.extend(i for i in alive if scalar(i))
+                    alive = []
+                    break
+                # Column holds the *event*-side attribute here, so the
+                # column is the left operand iff the event is.
+                alive = self._filter_attr(op, column, value, alive,
+                                          op.event_is_left, scalar, resolved)
+        if resolved:
+            alive = sorted(alive + resolved)
+        return alive
+
+    # -- shared filters --------------------------------------------------- #
+
+    def _filter_corr(self, op: _CorrOp, column: HistoryColumn,
+                     query: Sequence[float], alive: list[int],
+                     scalar: Callable[[int], bool],
+                     resolved: list[int]) -> list[int]:
+        # Rows without a usable history go through the full scalar check
+        # (and drop out of later vector ops — scalar() decides them fully).
+        vector_rows = [i for i in alive if column.raw[i] is not None]
+        for i in alive:
+            if column.raw[i] is None and scalar(i):
+                resolved.append(i)
+        corrs = column.correlations(query, vector_rows)
+        threshold = op.threshold
+        survivors = []
+        for i, corr in zip(vector_rows, corrs):
+            if abs(corr - threshold) <= CORR_BAND:
+                verdict = pearson_correlation(query, column.raw[i]) > threshold
+            else:
+                verdict = corr > threshold
+            if verdict:
+                survivors.append(i)
+        return survivors
+
+    def _filter_attr(self, op: _AttrOp, column: ValueColumn, other: Any,
+                     alive: list[int], column_is_left: bool,
+                     scalar: Callable[[int], bool],
+                     resolved: list[int]) -> list[int]:
+        vector_rows = [i for i in alive if column.values[i] is not _MISSING]
+        for i in alive:
+            if column.values[i] is _MISSING and scalar(i):
+                resolved.append(i)
+        verdicts = column.compare(op.operator, other, vector_rows,
+                                  column_is_left)
+        return [i for i, ok in zip(vector_rows, verdicts) if ok]
+
+    # -- column specs ----------------------------------------------------- #
+
+    def event_column_factories(self):
+        """Per-op extractors over buffered *events* (the EB side)."""
+        specs = []
+        for op in self.ops:
+            if isinstance(op, _CorrOp):
+                specs.append((HistoryColumn, op.attribute))
+            else:
+                specs.append((ValueColumn, op.event_attribute))
+        return specs
+
+    def match_column_factories(self):
+        """Per-op extractors over buffered *partials* (the MB side)."""
+        specs = []
+        for op in self.ops:
+            if isinstance(op, _CorrOp):
+                specs.append((HistoryColumn, op.other, op.attribute))
+            else:
+                specs.append((ValueColumn, op.other, op.other_attribute))
+        return specs
+
+
+def compile_stage_kernel(stage: Stage) -> StageKernel | None:
+    """Build a vectorized kernel for *stage*, or ``None`` when any of its
+    conditions falls outside the vectorizable forms (Kleene stages, unary
+    or arbitrary pairwise predicates, disjunctions)."""
+    if stage.is_kleene:
+        return None
+    position = stage.item.name
+    flat: list = []
+    for condition in stage.conditions:
+        if isinstance(condition, AndCondition):
+            flat.extend(condition.flattened())
+        else:
+            flat.append(condition)
+    ops: list = []
+    for condition in flat:
+        if isinstance(condition, TrueCondition):
+            continue
+        if isinstance(condition, CorrelationCondition):
+            if condition.left == position and condition.right != position:
+                other = condition.right
+            elif condition.right == position and condition.left != position:
+                other = condition.left
+            else:
+                return None
+            ops.append(_CorrOp(other, condition.attribute, condition.threshold))
+            continue
+        if isinstance(condition, AttributeCondition):
+            if condition.left == position and condition.right != position:
+                ops.append(_AttrOp(
+                    condition.operator, condition.left_attribute,
+                    condition.right, condition.right_attribute,
+                    event_is_left=True,
+                ))
+            elif condition.right == position and condition.left != position:
+                ops.append(_AttrOp(
+                    condition.operator, condition.right_attribute,
+                    condition.left, condition.left_attribute,
+                    event_is_left=False,
+                ))
+            else:
+                return None
+            continue
+        return None
+    return StageKernel(stage, ops)
+
+
+# --------------------------------------------------------------------- #
+# Fragment views                                                         #
+# --------------------------------------------------------------------- #
+
+
+class EventColumns:
+    """Columnar view over one event-buffer fragment.
+
+    Synchronized incrementally: :meth:`sync` appends rows for the
+    fragment's tail; the owner invalidates the whole view (and builds a
+    fresh one) when the fragment's version changes — i.e. after a purge.
+    """
+
+    __slots__ = ("version", "count", "ts", "ids", "op_columns", "_ts_array",
+                 "_ids_array", "_array_rows")
+
+    def __init__(self, kernel: StageKernel, version: int) -> None:
+        self.version = version
+        self.count = 0
+        self.ts: list[float] = []
+        self.ids: list[int] = []
+        self.op_columns = []
+        for factory, attribute in kernel.event_column_factories():
+            self.op_columns.append((factory(), attribute))
+        self._ts_array = None
+        self._ids_array = None
+        self._array_rows = 0
+
+    def sync(self, fragment: list) -> None:
+        for event in fragment[self.count:]:
+            self.ts.append(event.timestamp)
+            self.ids.append(event.event_id)
+            for column, attribute in self.op_columns:
+                column.append(_extract(event, attribute))
+        self.count = len(fragment)
+
+    def op_column(self, op_index: int):
+        return self.op_columns[op_index][0]
+
+    def candidate_indices(self, earliest: float, latest: float,
+                          last_ts: float, last_id: int,
+                          window: float) -> list[int]:
+        """Rows passing the window and SEQ-order pre-checks for a partial
+        with the given bounds — exact comparisons, backend-independent."""
+        if np is not None and self.count > 1:
+            self._refresh_arrays()
+            ts = self._ts_array
+            ids = self._ids_array
+            fits = (np.maximum(ts, latest) - np.minimum(ts, earliest)) <= window
+            order = (ts > last_ts) | ((ts == last_ts) & (ids > last_id))
+            return np.nonzero(fits & order)[0].tolist()
+        out = []
+        for i in range(self.count):
+            ts = self.ts[i]
+            if max(ts, latest) - min(ts, earliest) > window:
+                continue
+            if (last_ts, last_id) >= (ts, self.ids[i]):
+                continue
+            out.append(i)
+        return out
+
+    def _refresh_arrays(self) -> None:
+        if self._array_rows != self.count:
+            self._ts_array = np.asarray(self.ts, dtype=float)
+            self._ids_array = np.asarray(self.ids, dtype=np.int64)
+            self._array_rows = self.count
+
+
+class MatchColumns:
+    """Columnar view over one match-buffer fragment."""
+
+    __slots__ = ("version", "count", "earliest", "latest", "last_ts",
+                 "last_id", "bound", "op_columns", "_stages", "_stage_index",
+                 "_position", "_arrays", "_array_rows")
+
+    def __init__(self, kernel: StageKernel, version: int,
+                 stages: tuple[Stage, ...], stage_index: int) -> None:
+        self.version = version
+        self.count = 0
+        self.earliest: list[float] = []
+        self.latest: list[float] = []
+        self.last_ts: list[float] = []
+        self.last_id: list[int] = []
+        self.bound: list[bool] = []
+        self.op_columns = []
+        for spec in kernel.match_column_factories():
+            factory, other, attribute = spec
+            self.op_columns.append((factory(), other, attribute))
+        self._stages = stages
+        self._stage_index = stage_index
+        self._position = kernel.position
+        self._arrays = None
+        self._array_rows = 0
+
+    def sync(self, fragment: list) -> None:
+        for partial in fragment[self.count:]:
+            self.earliest.append(partial.earliest)
+            self.latest.append(partial.latest)
+            last = last_bound_event(partial, self._stages, self._stage_index)
+            if last is None:
+                self.last_ts.append(float("-inf"))
+                self.last_id.append(-1)
+            else:
+                self.last_ts.append(last.timestamp)
+                self.last_id.append(last.event_id)
+            self.bound.append(self._position in partial.binding)
+            for column, other, attribute in self.op_columns:
+                column.append(_extract(
+                    _bound_event(partial.binding.get(other)), attribute
+                ))
+        self.count = len(fragment)
+
+    def op_column(self, op_index: int):
+        return self.op_columns[op_index][0]
+
+    def candidate_indices(self, event, window: float) -> list[int]:
+        """Rows passing the window, unbound and SEQ-order pre-checks for
+        an arriving event — exact comparisons, backend-independent."""
+        ts = event.timestamp
+        eid = event.event_id
+        if np is not None and self.count > 1:
+            self._refresh_arrays()
+            earliest, latest, last_ts, last_id, bound = self._arrays
+            fits = (np.maximum(latest, ts) - np.minimum(earliest, ts)) <= window
+            order = (last_ts < ts) | ((last_ts == ts) & (last_id < eid))
+            return np.nonzero(fits & order & ~bound)[0].tolist()
+        out = []
+        for i in range(self.count):
+            if self.bound[i]:
+                continue
+            if max(self.latest[i], ts) - min(self.earliest[i], ts) > window:
+                continue
+            if (self.last_ts[i], self.last_id[i]) >= (ts, eid):
+                continue
+            out.append(i)
+        return out
+
+    def _refresh_arrays(self) -> None:
+        if self._array_rows != self.count:
+            self._arrays = (
+                np.asarray(self.earliest, dtype=float),
+                np.asarray(self.latest, dtype=float),
+                np.asarray(self.last_ts, dtype=float),
+                np.asarray(self.last_id, dtype=np.int64),
+                np.asarray(self.bound, dtype=bool),
+            )
+            self._array_rows = self.count

@@ -76,23 +76,49 @@ class _SymbolState:
     coupled: bool = False
 
 
+def _warmup_history(
+    name: str, initial_price: float, config: StockConfig
+) -> list[float]:
+    """Pre-stream price walk ending at *initial_price* (oldest first).
+
+    Seeds each symbol's history with ``HISTORY_LENGTH - 1`` plausible
+    prices from a dedicated per-symbol RNG, walking backward from the
+    seeded base price.  Early events then carry genuinely varying
+    histories instead of a constant-padded prefix — repeating one price
+    nearly zeroes the centered cross-terms of the Pearson predicate and
+    biased every warm-up correlation toward 0.  A separate RNG stream
+    keeps the main generator's draw sequence (regimes, steps, arrival
+    times) byte-for-byte unchanged.
+    """
+    wrng = random.Random(f"{config.seed}:{name}:warmup")
+    prices: list[float] = []
+    price = initial_price
+    for _ in range(HISTORY_LENGTH - 1):
+        price = max(price - wrng.gauss(0.0, config.noise_volatility), 1.0)
+        prices.append(price)
+    prices.reverse()
+    return prices
+
+
 def generate_stock_stream(config: StockConfig) -> list[Event]:
     """Produce a temporally ordered list of stock tick events.
 
     Each event's attributes: ``symbol``, ``price``, and ``history`` — a
-    tuple of the last :data:`HISTORY_LENGTH` prices (padded by repeating
-    the oldest price while the symbol warms up, so the correlation
-    predicate is total).
+    tuple of the last :data:`HISTORY_LENGTH` prices.  Histories are
+    seeded with a pre-stream warm-up walk per symbol (see
+    :func:`_warmup_history`), so they are full-depth and non-degenerate
+    from the first event on.
     """
     rng = random.Random(config.seed)
     types = {name: EventType(name, ("symbol", "price", "history"))
              for name in config.symbols}
-    states = {
-        name: _SymbolState(
-            price=config.base_price * (1.0 + 0.1 * rng.random())
+    states = {}
+    for name in config.symbols:
+        initial = config.base_price * (1.0 + 0.1 * rng.random())
+        states[name] = _SymbolState(
+            price=initial,
+            history=_warmup_history(name, initial, config),
         )
-        for name in config.symbols
-    }
     processes = [
         ArrivalProcess(name, config.rate_of(index))
         for index, name in enumerate(config.symbols)
@@ -132,8 +158,6 @@ def generate_stock_stream(config: StockConfig) -> list[Event]:
         if len(state.history) > HISTORY_LENGTH:
             del state.history[0]
         history = tuple(state.history)
-        if len(history) < HISTORY_LENGTH:
-            history = (history[0],) * (HISTORY_LENGTH - len(history)) + history
         events.append(
             Event(
                 type=types[type_name],

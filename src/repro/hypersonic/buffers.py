@@ -31,17 +31,44 @@ class FragmentedBuffer(Generic[ItemT]):
     contents expire, exactly as in Section 4.1).
     """
 
-    __slots__ = ("name", "_fragments", "stored", "purged")
+    __slots__ = ("name", "_fragments", "_versions", "stored", "purged")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._fragments: dict[int, list[ItemT]] = {}
+        # Per-fragment purge generation.  Appends leave the version alone
+        # (columnar views extend incrementally); any removal bumps it so
+        # cached views over the fragment rebuild.
+        self._versions: dict[int, int] = {}
         self.stored = 0
         self.purged = 0
 
     def store(self, owner: int, item: ItemT) -> None:
         self._fragments.setdefault(owner, []).append(item)
         self.stored += 1
+
+    def version(self, owner: int) -> int:
+        """Purge generation of one fragment (0 if never purged)."""
+        return self._versions.get(owner, 0)
+
+    def replace_fragment(self, owner: int, kept: list[ItemT]) -> None:
+        """Install the post-purge contents of one fragment.
+
+        Accounts the removed items, bumps the fragment's version, and drops
+        the fragment entirely when emptied (a fragment left behind by a
+        migrated worker stops costing a lock per traversal once its
+        contents expire — Section 4.1).  No-op when nothing was removed.
+        """
+        fragment = self._fragments.get(owner)
+        removed = (len(fragment) if fragment else 0) - len(kept)
+        if removed <= 0:
+            return
+        self.purged += removed
+        self._versions[owner] = self._versions.get(owner, 0) + 1
+        if kept:
+            self._fragments[owner] = kept
+        else:
+            del self._fragments[owner]
 
     def fragments(self) -> Iterator[tuple[int, list[ItemT]]]:
         """Iterate (owner, fragment) pairs — each visit models one lock.
@@ -63,14 +90,7 @@ class FragmentedBuffer(Generic[ItemT]):
         kept = [item for item in fragment if keep(item)]
         removed = len(fragment) - len(kept)
         if removed:
-            if kept:
-                self._fragments[owner] = kept
-            else:
-                # Drop emptied fragments entirely: a fragment left behind by
-                # a migrated worker stops costing a lock per traversal once
-                # its contents expire (Section 4.1's "previous one expires").
-                del self._fragments[owner]
-            self.purged += removed
+            self.replace_fragment(owner, kept)
         return removed
 
     def total_items(self) -> int:
@@ -98,12 +118,20 @@ class AgentGlobalBuffer:
     both EB and several partial matches is counted once).
     """
 
-    __slots__ = ("_refcounts", "current_bytes", "peak_bytes")
+    __slots__ = ("_refcounts", "current_bytes", "peak_bytes",
+                 "accounting_errors")
 
     def __init__(self) -> None:
         self._refcounts: dict[int, tuple[int, int]] = {}
         self.current_bytes = 0
         self.peak_bytes = 0
+        # Accounting anomalies: an event re-retained under the same id with
+        # a different payload size (the stale recorded size keeps driving
+        # the byte figures), or a release for an id never retained (a
+        # refcount leak elsewhere).  Both used to pass silently and could
+        # drift ``current_bytes``/``peak_bytes``; they are now counted and
+        # surfaced through :class:`BufferSnapshot`.
+        self.accounting_errors = 0
 
     def retain_event(self, event: Event) -> None:
         entry = self._refcounts.get(event.event_id)
@@ -114,11 +142,14 @@ class AgentGlobalBuffer:
                 self.peak_bytes = self.current_bytes
         else:
             count, size = entry
+            if size != event.payload_size:
+                self.accounting_errors += 1
             self._refcounts[event.event_id] = (count + 1, size)
 
     def release_event(self, event: Event) -> None:
         entry = self._refcounts.get(event.event_id)
         if entry is None:
+            self.accounting_errors += 1
             return
         count, size = entry
         if count <= 1:
@@ -148,6 +179,7 @@ class BufferSnapshot:
     mb_pointers: int          # sum of event counts over buffered matches
     agb_bytes: int
     quarantined: int = 0
+    accounting_errors: int = 0  # AGB retain/release anomalies observed
 
     @property
     def pointer_items(self) -> int:
@@ -164,4 +196,5 @@ class BufferSnapshot:
             mb_pointers=sum(s.mb_pointers for s in snapshots),
             agb_bytes=sum(s.agb_bytes for s in snapshots),
             quarantined=sum(s.quarantined for s in snapshots),
+            accounting_errors=sum(s.accounting_errors for s in snapshots),
         )

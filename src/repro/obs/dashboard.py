@@ -278,7 +278,8 @@ def _num(value, default: float = 0.0) -> float:
 def _count(value, default: int = 0) -> int:
     try:
         return int(value)
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):
+        # OverflowError: int(float("inf")) — hostile snapshot payloads.
         return default
 
 

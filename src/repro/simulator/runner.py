@@ -67,8 +67,19 @@ def simulate(
     pace: float | None = None,
     tracer: Tracer | None = None,
     model_costs: CostParameters | None = None,
+    batch_size: int = 1,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
+
+    ``batch_size`` enables the opt-in batched execution mode: the
+    splitter injects and agents process events in micro-batches of up to
+    this many, with vectorized predicate kernels where the stage
+    conditions allow (see :mod:`repro.core.vectorized`).  The default of 1
+    is the scalar path, bit-identical to the pinned goldens; any larger
+    value preserves the match set exactly (the scalar path is the
+    differential oracle) while amortizing per-event lock and bookkeeping
+    cost.  Partition strategies are driven event-major by their simulator
+    and accept the knob as a no-op.
 
     ``model_costs`` separates the planner's cost model from the simulated
     deployment's actual costs for the planned strategies (``hypersonic``,
@@ -113,6 +124,8 @@ def simulate(
         raise SimulationError(
             f"inflight_cap must be >= 1, got {inflight_cap}"
         )
+    if batch_size < 1:
+        raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
     source = as_source(events)
     if inflight_cap is None:
         # Scale channel capacity with the core count so every strategy can
@@ -129,6 +142,7 @@ def simulate(
             role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
             pace=pace, tracer=tracer, model_costs=model_costs,
+            batch_size=batch_size,
         )
     if measure_latency and not source.replayable:
         # The latency measurement re-runs the workload; a single-pass
@@ -142,6 +156,7 @@ def simulate(
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=None, tracer=tracer, model_costs=model_costs,
+        batch_size=batch_size,
     )
     if not measure_latency or capacity.throughput <= 0:
         return capacity
@@ -153,6 +168,7 @@ def simulate(
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=pace, tracer=None, model_costs=model_costs,
+        batch_size=batch_size,
     )
     capacity.avg_latency = paced.avg_latency
     capacity.p95_latency = paced.p95_latency
@@ -180,6 +196,7 @@ def _run_once(
     pace: float | None,
     tracer: Tracer | None,
     model_costs: CostParameters | None = None,
+    batch_size: int = 1,
 ) -> SimResult:
     if strategy == "sequential":
         return simulate_partitioned(
@@ -223,6 +240,7 @@ def _run_once(
                 pace=pace,
                 tracer=tracer,
                 model_costs=model_costs,
+                batch_size=batch_size,
             )
         config = HypersonicConfig(
             role_dynamic=role_dynamic,
@@ -245,6 +263,7 @@ def _run_once(
             pace=pace,
             tracer=tracer,
             model_costs=model_costs,
+            batch_size=batch_size,
         )
     if strategy == "rip":
         engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)

@@ -27,7 +27,8 @@ class TestRunBench:
         validate_snapshot(snapshot)  # does not raise
         assert snapshot["quick"] is True
         assert set(snapshot["scenarios"]) == {
-            "fig7_throughput", "sensors_throughput", "fig8_latency",
+            "fig7_throughput", "sensors_throughput", "batched_throughput",
+            "fig8_latency",
         }
         fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
         assert set(fig7) == {
@@ -45,6 +46,17 @@ class TestRunBench:
         assert fig8["pace"] > 0
         for cell in fig8["strategies"].values():
             assert cell["p50_latency"] > 0
+
+    def test_batched_scenario_pins_the_speedup_pair(self, snapshot):
+        batched = snapshot["scenarios"]["batched_throughput"]
+        assert batched["batch_size"] > 1
+        strategies = batched["strategies"]
+        assert set(strategies) == {"hypersonic", "hypersonic_batched"}
+        scalar = strategies["hypersonic"]
+        vectorized = strategies["hypersonic_batched"]
+        # Identical detection, faster virtual clock.
+        assert vectorized["matches"] == scalar["matches"] > 0
+        assert vectorized["throughput"] > scalar["throughput"]
 
     def test_sensors_scenario_not_degenerate(self, snapshot):
         sensors = snapshot["scenarios"]["sensors_throughput"]
@@ -68,7 +80,8 @@ class TestRunBench:
         assert report["ok"] is True
         assert report["regressions"] == []
         assert report["improvements"] == []
-        assert report["compared"] == 14  # 5 fig7 + 5 sensors + 4 fig8 cells
+        # 5 fig7 + 5 sensors + 2 batched + 4 fig8 cells
+        assert report["compared"] == 16
         assert report["skipped"] == []
 
     def test_tuned_parameters_add_a_row_per_throughput_scenario(self):
@@ -160,7 +173,8 @@ class TestCompare:
         del partial["scenarios"]["fig8_latency"]
         del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
         report = compare_snapshots(partial, snapshot)
-        assert report["compared"] == 9
+        # 4 remaining fig7 + 5 sensors + 2 batched cells
+        assert report["compared"] == 11
         assert len(report["skipped"]) == 2
 
     def test_schema_1_baseline_compares_shared_scenarios(self, snapshot):
@@ -172,7 +186,8 @@ class TestCompare:
         validate_snapshot(old)  # still a valid snapshot
         report = compare_snapshots(old, snapshot)
         assert report["ok"] is True
-        assert report["compared"] == 9
+        # 5 fig7 + 2 batched + 4 fig8 cells (sensors skipped)
+        assert report["compared"] == 11
         assert any("schema 1" in note for note in report["skipped"])
         assert any("sensors_throughput" in note
                    for note in report["skipped"])

@@ -202,3 +202,51 @@ class TestItemKinds:
         assert (
             WorkItem.match(PartialMatch.of("a", ev(0))).kind is ItemKind.MATCH
         )
+
+
+class TestAGBAccountingErrors:
+    def test_re_retain_with_stale_payload_size_is_counted(self):
+        # The same event id retained again with a different payload size:
+        # the AGB keeps the originally recorded size (so release stays
+        # balanced) but flags the anomaly instead of passing silently.
+        agb = AgentGlobalBuffer()
+        agb.retain_event(Event(A, 1.0, event_id=7, payload_size=10))
+        agb.retain_event(Event(A, 1.0, event_id=7, payload_size=99))
+        assert agb.accounting_errors == 1
+        assert agb.current_bytes == 10
+        agb.release_event(Event(A, 1.0, event_id=7, payload_size=99))
+        agb.release_event(Event(A, 1.0, event_id=7, payload_size=99))
+        assert agb.current_bytes == 0
+        assert agb.accounting_errors == 1
+
+    def test_consistent_re_retain_is_not_an_error(self):
+        agb = AgentGlobalBuffer()
+        event = ev(1.0)
+        agb.retain_event(event)
+        agb.retain_event(event)
+        assert agb.accounting_errors == 0
+        assert agb.current_bytes == 10
+
+    def test_unmatched_release_is_counted_and_ignored(self):
+        agb = AgentGlobalBuffer()
+        retained = ev(1.0)
+        agb.retain_event(retained)
+        stranger = ev(2.0)
+        agb.release_event(stranger)
+        assert agb.accounting_errors == 1
+        # The bogus release must not disturb the byte accounting.
+        assert agb.current_bytes == 10
+        agb.release_event(retained)
+        assert agb.current_bytes == 0
+
+    def test_errors_surface_in_snapshot_merge(self):
+        snaps = [
+            BufferSnapshot(eb_items=1, mb_items=0, mb_pointers=0,
+                           agb_bytes=0, accounting_errors=2),
+            BufferSnapshot(eb_items=0, mb_items=1, mb_pointers=0,
+                           agb_bytes=0, accounting_errors=3),
+            BufferSnapshot(eb_items=0, mb_items=0, mb_pointers=0,
+                           agb_bytes=0),
+        ]
+        merged = BufferSnapshot.merge(snaps)
+        assert merged.accounting_errors == 5

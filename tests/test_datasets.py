@@ -123,6 +123,37 @@ class TestStockStream:
         with pytest.raises(ValueError):
             calibrate_correlation_threshold(events, ("S0", "S1"), 20.0, 1.5)
 
+    def test_warmup_histories_are_full_depth_and_nondegenerate(self, events):
+        # The old generator padded short histories by repeating the first
+        # price, which nearly zeroed the centered cross-terms and biased
+        # every warm-up Pearson correlation toward 0.  Histories are now
+        # seeded from a per-symbol pre-stream walk: full depth and varying
+        # from the very first event.
+        for event in events[:10]:
+            history = event["history"]
+            assert len(history) == HISTORY_LENGTH
+            assert len(set(history)) > HISTORY_LENGTH // 2
+
+    def test_warmup_is_deterministic_and_per_symbol(self):
+        config = StockConfig(num_events=50, symbols=("S0", "S1"), seed=3)
+        first = generate_stock_stream(config)
+        second = generate_stock_stream(config)
+        assert [e["history"] for e in first] == [e["history"] for e in second]
+        first_s0 = next(e for e in first if e.type.name == "S0")
+        first_s1 = next(e for e in first if e.type.name == "S1")
+        # Distinct per-symbol warm-up RNG streams: the pre-stream walks of
+        # two symbols must not coincide.
+        assert first_s0["history"][:-1] != first_s1["history"][:-1]
+
+    def test_calibrated_threshold_pinned(self):
+        # Pins the calibrated operating point under the fixed warm-up walk;
+        # a change to the generator's draw sequence moves this value.
+        stream = generate_stock_stream(StockConfig(num_events=500, seed=11))
+        threshold = calibrate_correlation_threshold(
+            stream, ("S0", "S1"), window=30.0, target_selectivity=0.3
+        )
+        assert threshold == pytest.approx(0.5710698479351777, rel=1e-9)
+
 
 class TestSensorStream:
     @pytest.fixture(scope="class")

@@ -117,6 +117,56 @@ def test_simulated_strategies_agree_on_match_count(pattern, seed, tuned):
         assert result.matches == expected, strategy
 
 
+@pytest.mark.parametrize("pattern,seed", WORKLOADS)
+@pytest.mark.parametrize("batch_size", [2, 7, 64])
+def test_batched_hypersonic_matches_scalar_oracle(pattern, seed, batch_size):
+    """Batched execution (vectorized kernels, micro-batched splitter and
+    agents) must emit exactly the scalar oracle's match-key set."""
+    events = workload(seed)
+    expected = reference_keys(pattern, events)
+    sim = HypersonicSimulation(pattern, NUM_UNITS, batch_size=batch_size)
+    sim.run(events)
+    assert {match.key for match in sim.matches} == expected
+
+
+@pytest.mark.parametrize("pattern,seed", WORKLOADS[:2])
+def test_all_strategies_accept_batch_size(pattern, seed):
+    """`simulate(..., batch_size=64)` is valid for all seven strategies
+    (a documented no-op for the event-major partition simulators) and
+    never changes the detected match count."""
+    events = workload(seed)
+    expected = len(reference_keys(pattern, events))
+    for strategy in STRATEGIES:
+        kwargs = {}
+        if strategy == "rip":
+            kwargs["chunk_size"] = 32
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_UNITS, seed=7,
+            batch_size=64, **kwargs,
+        )
+        assert result.matches == expected, strategy
+
+
+def test_batched_results_backend_independent(monkeypatch):
+    """The numpy kernel and the pure-Python fallback produce bit-identical
+    batched simulations — same matches, same virtual clock."""
+    import repro.core.vectorized as vec
+
+    pattern, seed = WORKLOADS[0]
+    events = workload(seed)
+
+    def run() -> tuple:
+        sim = HypersonicSimulation(pattern, NUM_UNITS, batch_size=16)
+        result = sim.run(events)
+        keys = tuple(sorted(match.key for match in sim.matches))
+        return (result.throughput, result.total_time, keys)
+
+    with_backend = run()
+    monkeypatch.setattr(vec, "np", None)
+    without_backend = run()
+    assert with_backend == without_backend
+
+
 def test_fitted_parameters_differ_from_defaults():
     """Sanity: the fitted-costs leg of the grid is not vacuously the
     default-costs leg again."""

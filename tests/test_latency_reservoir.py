@@ -100,3 +100,47 @@ class TestReservoirAgainstExactQuantiles:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             LatencyAccumulator(capacity=0)
+
+
+class TestInterleavedPercentileCache:
+    """Regression guard for the sorted-reservoir cache: every mutation of
+    the reservoir (both the growing branch and the replacement branch)
+    must invalidate the cache, so percentile reads interleaved with adds
+    always see the current samples."""
+
+    @staticmethod
+    def _ceil_percentile(data: list[float], q: float) -> float:
+        # Same index convention as LatencyAccumulator.percentile.
+        import math
+        ordered = sorted(data)
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def test_percentile_reflects_adds_below_capacity(self):
+        acc = LatencyAccumulator(capacity=4096, rng=random.Random(0))
+        data: list[float] = []
+        rng = random.Random(9)
+        for i in range(500):
+            value = rng.uniform(0.0, 100.0)
+            acc.add(value)
+            data.append(value)
+            if i % 7 == 0:
+                # Below capacity the reservoir is exact; a stale cache
+                # would return the percentile of an older prefix.
+                assert acc.percentile(0.5) == self._ceil_percentile(data, 0.5)
+                assert acc.percentile(0.95) == self._ceil_percentile(data, 0.95)
+
+    def test_percentile_tracks_replacements_above_capacity(self):
+        # Small capacity forces the replacement branch; after a regime
+        # shift the interleaved reads must drift to the new regime rather
+        # than stay pinned to a pre-shift cached sort.
+        acc = LatencyAccumulator(capacity=64, rng=random.Random(3))
+        for _ in range(1000):
+            acc.add(1.0)
+        assert acc.percentile(0.5) == 1.0
+        readings = []
+        for _ in range(50_000):
+            acc.add(1000.0)
+            readings.append(acc.percentile(0.5))
+        assert readings[-1] == 1000.0
+        assert readings == sorted(readings) or len(set(readings)) > 1

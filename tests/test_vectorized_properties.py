@@ -1,0 +1,145 @@
+"""Property tests: the vectorized kernels agree with the scalar oracles.
+
+The batched execution mode is only sound if its kernels reproduce the
+scalar predicates: :func:`repro.core.vectorized.batched_pearson` must
+stay within 1e-12 of :func:`repro.core.conditions.pearson_correlation`
+(bit-identical on the fallback path), and
+:func:`repro.core.vectorized.batched_compare` must agree exactly with
+the ``_OPERATORS`` table.  Hypothesis drives both kernels with
+adversarial inputs — near-constant sequences, mixed magnitudes, tiny
+deviations, NaN-free float corners — under both backends (numpy and the
+pure-Python fallback, forced by nulling the module's ``np`` handle).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.core.vectorized as vec
+from repro.core.conditions import _OPERATORS, pearson_correlation
+from repro.core.errors import ConditionError
+from repro.core.vectorized import batched_compare, batched_pearson
+
+TOLERANCE = 1e-12
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+
+#: Adversarial history values: wide magnitudes plus clustered values that
+#: produce near-zero variance after centering.
+history_values = st.one_of(
+    finite_floats,
+    st.floats(min_value=99.999999, max_value=100.000001),
+    st.sampled_from([0.0, -0.0, 1.0, 1e-15, -1e-15, 1e9, -1e9]),
+)
+
+
+def histories_of(length: int):
+    return st.lists(
+        st.lists(history_values, min_size=length, max_size=length),
+        min_size=0,
+        max_size=8,
+    )
+
+
+@st.composite
+def pearson_case(draw):
+    length = draw(st.integers(min_value=2, max_value=24))
+    query = draw(st.lists(history_values, min_size=length, max_size=length))
+    rows = draw(histories_of(length))
+    return query, rows
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def backend(request, monkeypatch):
+    if request.param == "numpy":
+        if not vec.have_numpy():
+            pytest.skip("numpy not importable")
+    else:
+        monkeypatch.setattr(vec, "np", None)
+    return request.param
+
+
+class TestBatchedPearson:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(case=pearson_case())
+    def test_matches_scalar_within_tolerance(self, backend, case):
+        query, rows = case
+        batched = batched_pearson(query, rows)
+        assert len(batched) == len(rows)
+        for value, row in zip(batched, rows):
+            expected = pearson_correlation(query, row)
+            assert math.isfinite(value)
+            assert abs(value - expected) <= TOLERANCE, (query, row)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(case=pearson_case())
+    def test_fallback_is_bit_identical(self, monkeypatch, case):
+        monkeypatch.setattr(vec, "np", None)
+        query, rows = case
+        batched = batched_pearson(query, rows)
+        assert batched == [pearson_correlation(query, row) for row in rows]
+
+    def test_degenerate_rows_are_zero(self, backend):
+        query = [1.0, 2.0, 3.0]
+        rows = [[5.0, 5.0, 5.0], [1.0, 2.0, 3.0]]
+        batched = batched_pearson(query, rows)
+        assert batched[0] == 0.0
+        assert batched[1] == pytest.approx(1.0)
+
+    def test_length_mismatch_raises_like_scalar(self, backend):
+        with pytest.raises(ConditionError):
+            batched_pearson([1.0, 2.0, 3.0], [[1.0, 2.0]])
+
+
+class TestBatchedCompare:
+    operators = sorted(_OPERATORS)
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        values=st.lists(finite_floats, max_size=16),
+        pivot=finite_floats,
+        operator=st.sampled_from(operators),
+        value_side=st.sampled_from(["left", "right"]),
+    )
+    def test_matches_operator_table(
+        self, backend, values, pivot, operator, value_side
+    ):
+        scalar_op = _OPERATORS[operator]
+        if value_side == "left":
+            batched = batched_compare(operator, values, pivot)
+            expected = [bool(scalar_op(v, pivot)) for v in values]
+        else:
+            batched = batched_compare(operator, pivot, values)
+            expected = [bool(scalar_op(pivot, v)) for v in values]
+        assert batched == expected
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        values=st.lists(st.integers(min_value=-10**30, max_value=10**30),
+                        max_size=12),
+        pivot=st.integers(min_value=-10**30, max_value=10**30),
+        operator=st.sampled_from(operators),
+    )
+    def test_huge_ints_keep_exact_semantics(self, backend, values, pivot,
+                                            operator):
+        # Ints beyond float precision must not be coerced through numpy:
+        # the kernel only vectorizes all-float batches.
+        scalar_op = _OPERATORS[operator]
+        batched = batched_compare(operator, values, pivot)
+        assert batched == [bool(scalar_op(v, pivot)) for v in values]
+
+
+def test_have_numpy_reflects_handle(monkeypatch):
+    if vec.np is not None:
+        assert vec.have_numpy()
+    monkeypatch.setattr(vec, "np", None)
+    assert not vec.have_numpy()
