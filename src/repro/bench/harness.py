@@ -48,6 +48,7 @@ __all__ = [
     "paced_latencies",
     "shifted_stock_events",
     "skewed_stock_events",
+    "bursty_stock_events",
 ]
 
 #: Strategy set of the paper's state-of-the-art comparison (Figures 7-9).
@@ -166,6 +167,23 @@ def shifted_stock_events(scale: BenchScale = DEFAULT_SCALE,
         for event in second
     ]
     return first + shifted
+
+
+def bursty_stock_events(scale: BenchScale = DEFAULT_SCALE,
+                        num_symbols: int = 8,
+                        num_phases: int = 6) -> list[Event]:
+    """The adaptation stressor: calm/burst phases with a rotating hot
+    symbol subset (see :mod:`repro.datasets.bursty`).  Sized off the
+    scale's event budget so quick and full benches stay proportionate."""
+    from repro.datasets.bursty import BurstyConfig, generate_bursty_stream
+
+    return generate_bursty_stream(BurstyConfig(
+        symbols=tuple(f"S{i}" for i in range(num_symbols)),
+        base_rate=scale.per_type_rate,
+        events_per_phase=max(1, scale.num_events // num_phases),
+        num_phases=num_phases,
+        seed=scale.seed,
+    ))
 
 
 def skewed_stock_events(scale: BenchScale = DEFAULT_SCALE,

@@ -29,10 +29,13 @@ from repro.bench.harness import (
     BenchScale,
     DEFAULT_SCALE,
     build_query,
+    bursty_stock_events,
     compare_strategies,
     default_cache,
     default_costs,
     sensor_events,
+    shifted_stock_events,
+    skewed_stock_events,
     stock_events,
 )
 from repro.costmodel.model import CostParameters
@@ -56,12 +59,15 @@ __all__ = [
 #: Schema 2 added the sensors-dataset scenario and the optional
 #: ``tuned_parameters`` block.  Schema 3 added the batched_throughput
 #: scenario (scalar hypersonic vs the batch_size=64 vectorized mode).
-SNAPSHOT_SCHEMA = 3
+#: Schema 4 added the skewed/shifted stock variants and the
+#: adaptation_recall scenario (static tail-shedding vs the runtime
+#: control plane's pattern shedding under paced overload).
+SNAPSHOT_SCHEMA = 4
 
 #: Snapshot versions the validator and comparator accept.  Old snapshots
 #: stay loadable so the trajectory spans the bumps; scenarios a baseline
 #: lacks are skipped, not failed.
-SUPPORTED_SCHEMAS = (1, 2, 3)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 #: Relative throughput drop that fails the comparison.
 DEFAULT_THRESHOLD = 0.15
@@ -79,6 +85,13 @@ _LATENCY_LOAD = 0.7
 
 #: Micro-batch size of the batched_throughput scenario (schema 3).
 _BATCH_SIZE = 64
+
+#: adaptation_recall (schema 4): offered load as a multiple of measured
+#: capacity (overload, unlike the fig8 fraction), phase count of the
+#: bursty stream, and the shed bound in units of the core count.
+_ADAPT_LOAD = 1.6
+_ADAPT_PHASES = 4
+_ADAPT_BOUND_PER_CORE = 2
 
 
 def _strategy_record(result: SimResult) -> dict:
@@ -103,6 +116,22 @@ def _strategy_record(result: SimResult) -> dict:
             calibration["verdict"] if calibration is not None else None
         ),
     }
+
+
+def _adaptation_record(result: SimResult, reference_matches: int) -> dict:
+    """An adaptation_recall cell: the standard record plus recall against
+    the unshedded reference, shed accounting, and the decision count."""
+    record = _strategy_record(result)
+    record["recall"] = (
+        result.matches / reference_matches if reference_matches else 0.0
+    )
+    shed = result.extra.get("shed")
+    record["shed_total"] = shed["total"] if shed is not None else 0
+    control = result.extra.get("control")
+    record["decisions"] = (
+        len(control["decisions"]) if control is not None else 0
+    )
+    return record
 
 
 def run_bench(
@@ -192,6 +221,72 @@ def run_bench(
             f"{batched_results['hypersonic_batched'].matches} batched"
         )
 
+    # Skewed and regime-shifted stock variants (schema 4): the stationary
+    # heterogeneous-rate stream judges outer allocation quality; the
+    # mid-run rate rotation judges how strategies weather a regime the
+    # build-time plan never saw.  Both reuse the fig7 query template.
+    skewed_events = skewed_stock_events(scale)
+    skewed_spec = build_query(
+        "stocks", "seq", length, scale.base_window, skewed_events, scale
+    )
+    skewed_results = compare_strategies(
+        skewed_spec.pattern, skewed_events, cores=cores,
+        strategies=_THROUGHPUT_STRATEGIES, scale=scale,
+        tracer_factory=lambda name: tracer_factory(f"skewed_{name}"),
+        seed=seed, tuned_parameters=tuned_parameters,
+    )
+    shifted_events = shifted_stock_events(scale)
+    shifted_spec = build_query(
+        "stocks", "seq", length, scale.base_window, shifted_events, scale
+    )
+    shifted_results = compare_strategies(
+        shifted_spec.pattern, shifted_events, cores=cores,
+        strategies=_THROUGHPUT_STRATEGIES, scale=scale,
+        tracer_factory=lambda name: tracer_factory(f"shifted_{name}"),
+        seed=seed, tuned_parameters=tuned_parameters,
+    )
+
+    # Adaptation recall (schema 4): the bursty rotating-hot-subset stream
+    # paced at _ADAPT_LOAD times HYPERSONIC's measured capacity, so the
+    # backlog genuinely overflows the shed bound.  Static (tail shedding,
+    # control plane off) and adaptive (pattern shedding, control plane on)
+    # get the same unit budget, stream, and bound; the only difference is
+    # the runtime control plane.  These runs shed input, so they call
+    # simulate() directly — compare_strategies would (rightly) refuse the
+    # diverging match counts.
+    bursty_events = bursty_stock_events(scale, num_phases=_ADAPT_PHASES)
+    bursty_spec = build_query(
+        "stocks", "seq", length, scale.base_window, bursty_events, scale
+    )
+    adapt_reference = simulate(
+        "hypersonic", bursty_spec.pattern, bursty_events, num_cores=cores,
+        cache=default_cache(), costs=default_costs(),
+        agent_dynamic=True, seed=seed,
+        tracer=tracer_factory("adapt_reference"),
+    )
+    adapt_pace = 1.0 / max(_ADAPT_LOAD * adapt_reference.throughput, 1e-12)
+    shed_bound = _ADAPT_BOUND_PER_CORE * cores
+    adapt_results: dict[str, SimResult] = {"reference": adapt_reference}
+    for label, adapt, shed_policy in (
+        ("static_shed", "off", "tail"),
+        ("adaptive", "on", "pattern"),
+    ):
+        adapt_results[label] = simulate(
+            "hypersonic", bursty_spec.pattern, bursty_events,
+            num_cores=cores, cache=default_cache(), costs=default_costs(),
+            agent_dynamic=True, seed=seed, pace=adapt_pace,
+            adapt=adapt, shed_bound=shed_bound, shed_policy=shed_policy,
+            tracer=tracer_factory(f"adapt_{label}"),
+        )
+    if (adapt_results["adaptive"].matches
+            <= adapt_results["static_shed"].matches):
+        raise RuntimeError(
+            "adaptation failed to dominate static shedding on recall: "
+            f"{adapt_results['adaptive'].matches} adaptive vs "
+            f"{adapt_results['static_shed'].matches} static "
+            f"(reference {adapt_reference.matches})"
+        )
+
     # fig8-style paced latency: everyone receives the same offered load,
     # derived from HYPERSONIC's capacity measured above (no extra run).
     reference = throughput_results["hypersonic"].throughput
@@ -241,6 +336,43 @@ def run_bench(
             "strategies": {
                 name: _strategy_record(result)
                 for name, result in batched_results.items()
+            },
+        },
+        "skewed_throughput": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "variant": "skewed",
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in skewed_results.items()
+            },
+        },
+        "shifted_throughput": {
+            "events": scale.num_events,
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "variant": "shifted",
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in shifted_results.items()
+            },
+        },
+        "adaptation_recall": {
+            "events": len(bursty_events),
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "pace": adapt_pace,
+            "load": _ADAPT_LOAD,
+            "phases": _ADAPT_PHASES,
+            "shed_bound": shed_bound,
+            "reference_matches": adapt_reference.matches,
+            "strategies": {
+                name: _adaptation_record(result, adapt_reference.matches)
+                for name, result in adapt_results.items()
             },
         },
         "fig8_latency": {

@@ -70,13 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     gen = commands.add_parser("generate", help="generate a synthetic stream")
-    gen.add_argument("dataset", choices=["stocks", "sensors"])
+    gen.add_argument("dataset", choices=["stocks", "sensors", "bursty"])
     gen.add_argument("output", help="CSV path to write")
     gen.add_argument("--events", type=int, default=5000)
     gen.add_argument("--rate", type=float, default=0.6,
                      help="per-type arrival rate")
     gen.add_argument("--types", type=int, default=8,
-                     help="number of event types (stocks only)")
+                     help="number of event types (stocks/bursty)")
+    gen.add_argument("--phases", type=int, default=6,
+                     help="alternating calm/burst phases (bursty only)")
     gen.add_argument("--seed", type=int, default=42)
 
     det = commands.add_parser("detect", help="detect a query template")
@@ -119,6 +121,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies",
         default="sequential,hypersonic,rip,llsf",
         help="comma-separated strategy list",
+    )
+    sim.add_argument(
+        "--adapt",
+        choices=["off", "on"],
+        default="off",
+        help=(
+            "enable the runtime control plane (drift-triggered "
+            "re-allocation, migration, fusion); agent-chain strategies "
+            "only (hypersonic, state)"
+        ),
+    )
+    sim.add_argument(
+        "--shed-bound",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "load-shedding backlog bound: when the in-flight backlog "
+            "exceeds N items, input is shed; 0 disables shedding"
+        ),
+    )
+    sim.add_argument(
+        "--shed-policy",
+        choices=["tail", "pattern"],
+        default=None,
+        help=(
+            "shedding policy: blind tail-drop, or pattern-aware (protect "
+            "events extending active partial matches; default: pattern "
+            "with --adapt on, tail otherwise)"
+        ),
+    )
+    sim.add_argument(
+        "--pace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "open-loop arrival pacing (model seconds between arrivals) "
+            "instead of closed-loop injection; combine with --shed-bound "
+            "to create sustained overload"
+        ),
     )
     sim.add_argument(
         "--trace",
@@ -215,8 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also record an autotuned hypersonic row per "
                             "scenario (tuned-vs-default trajectory)")
     bench.add_argument("--dashboard", action="store_true",
-                       help="print the dashboard's final frame for every "
-                            "benched run after the comparison table")
+                       help="print the dashboards of every benched run "
+                            "after the comparison table, tiled side by "
+                            "side per scenario")
+    bench.add_argument("--tile-width", type=int, default=None,
+                       help="total width of a dashboard tile row "
+                            "(default: terminal width)")
 
     tune = commands.add_parser(
         "autotune",
@@ -306,6 +353,18 @@ def _command_generate(args) -> int:
                 seed=args.seed,
             )
         )
+    elif args.dataset == "bursty":
+        from repro.datasets import BurstyConfig, generate_bursty_stream
+
+        events = generate_bursty_stream(
+            BurstyConfig(
+                symbols=tuple(f"S{i}" for i in range(args.types)),
+                base_rate=args.rate,
+                num_phases=args.phases,
+                events_per_phase=max(1, args.events // args.phases),
+                seed=args.seed,
+            )
+        )
     else:
         events = generate_sensor_stream(
             SensorConfig(
@@ -391,6 +450,18 @@ def _command_simulate(args) -> int:
     print(f"query: {spec.pattern.describe()}")
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
     strategies = [name.strip() for name in args.strategies.split(",")]
+    adapting = args.adapt == "on" or args.shed_bound > 0
+    if adapting:
+        unsupported = [
+            name for name in strategies
+            if name not in ("hypersonic", "state")
+        ]
+        if unsupported:
+            raise SystemExit(
+                "--adapt/--shed-bound need an agent-chain strategy "
+                "(hypersonic, state); drop "
+                f"{', '.join(unsupported)} from --strategies"
+            )
     registry = None
     if args.metrics_out:
         from repro.obs import MetricsRegistry
@@ -399,6 +470,13 @@ def _command_simulate(args) -> int:
     results = {}
     for strategy in strategies:
         kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        if args.pace is not None:
+            kwargs["pace"] = args.pace
+        if adapting:
+            kwargs["adapt"] = args.adapt
+            kwargs["shed_bound"] = args.shed_bound
+            if args.shed_policy is not None:
+                kwargs["shed_policy"] = args.shed_policy
         if tracing:
             from repro.obs import TraceRecorder
 
@@ -419,6 +497,31 @@ def _command_simulate(args) -> int:
             strategy, spec.pattern, source, num_cores=args.cores,
             cache=cache, batch_size=args.batch_size, **kwargs,
         )
+        if adapting:
+            # Honest recall needs an unshedded closed-loop reference run
+            # of the same strategy over the same stream.
+            reference = simulate(
+                strategy, spec.pattern, source, num_cores=args.cores,
+                cache=cache, batch_size=args.batch_size,
+                **({"agent_dynamic": True}
+                   if strategy == "hypersonic" else {}),
+            )
+            shed = results[strategy].extra.get("shed") or {}
+            recall = (
+                results[strategy].matches / reference.matches
+                if reference.matches else 1.0
+            )
+            line = (
+                f"{strategy}: shed {shed.get('total', 0)} "
+                f"recall {recall:.3f}"
+            )
+            control = results[strategy].extra.get("control")
+            if control is not None:
+                line += (
+                    f" ({control['epochs']} epochs, "
+                    f"{len(control['decisions'])} decisions)"
+                )
+            print(line)
         if args.dashboard:
             print(f"-- dashboard ({strategy}) --")
             print(kwargs["tracer"].final_frame())
@@ -619,6 +722,36 @@ def _command_watch(args) -> int:
     return 0
 
 
+#: Bench run-label prefixes that name a scenario; anything unprefixed is
+#: a fig7 throughput run (labels are assigned by ``run_bench``).
+_BENCH_TILE_GROUPS = (
+    "sensors", "batched", "skewed", "shifted", "adapt", "paced"
+)
+
+
+def _print_dashboard_tiles(boards: dict, tile_width: int | None) -> None:
+    """One row of side-by-side dashboard tiles per bench scenario."""
+    import shutil
+
+    from repro.obs import tile_frames
+
+    if tile_width is None:
+        tile_width = shutil.get_terminal_size((160, 24)).columns
+    groups: dict[str, list[tuple[str, str]]] = {}
+    for name, board in boards.items():
+        prefix, _, rest = name.partition("_")
+        if prefix in _BENCH_TILE_GROUPS and rest:
+            groups.setdefault(prefix, []).append((rest, board.final_frame()))
+        else:
+            groups.setdefault("fig7", []).append((name, board.final_frame()))
+    for group, tiles in groups.items():
+        labels = ", ".join(label for label, _ in tiles)
+        print(f"\n-- dashboard ({group}: {labels}) --")
+        print(tile_frames(
+            [frame for _, frame in tiles], width=tile_width
+        ))
+
+
 def _command_bench(args) -> int:
     from repro.bench.regression import (
         DEFAULT_THRESHOLD,
@@ -689,9 +822,8 @@ def _command_bench(args) -> int:
         tuned_parameters=tuned, tracer_factory=tracer_factory,
     )
     print(format_snapshot(snapshot))
-    for name, board in boards.items():
-        print(f"\n-- dashboard ({name}) --")
-        print(board.final_frame())
+    if boards:
+        _print_dashboard_tiles(boards, args.tile_width)
     if registry is not None:
         _write_metrics(args.metrics_out, registry)
         print(f"\nmetrics: {args.metrics_out}")

@@ -1,0 +1,34 @@
+"""Runtime control plane: drift-triggered re-planning and load shedding.
+
+HYPERSONIC's planning decisions — Theorem-1 proportional unit allocation,
+Algorithm-2 operator fusion — were made once, at build time, from sampled
+statistics.  This package hosts the *runtime* counterpart: a
+:class:`ControlPlane` that watches the live predicted-vs-observed drift
+signal (:class:`repro.obs.drift.DriftEstimator`) and, on the simulator's
+snapshot cadence, emits deterministic :class:`ReplanDecision`\\ s — unit
+re-allocation, single-unit migration, pair fusion/defusion — that the
+simulator applies between items.  :class:`LoadShedder` adds pattern-aware
+admission control under overload: events that can extend active partial
+matches are protected, cold events are dropped first, and guard/negation
+types are never shed (dropping them would *create* false matches).
+
+Import discipline: this package depends on :mod:`repro.costmodel`,
+:mod:`repro.hypersonic.allocation` / ``fusion``, and
+:mod:`repro.obs.drift` — never on the engine or a simulator, which both
+import *it*.  That keeps the control plane a pure policy layer, testable
+without running a simulation.
+"""
+
+from repro.control.decisions import ReplanDecision
+from repro.control.plane import ControlPlane
+from repro.control.planning import BuildPlan, plan_build
+from repro.control.shedding import SHED_POLICIES, LoadShedder
+
+__all__ = [
+    "BuildPlan",
+    "ControlPlane",
+    "LoadShedder",
+    "ReplanDecision",
+    "SHED_POLICIES",
+    "plan_build",
+]

@@ -1,0 +1,64 @@
+"""The control plane's output vocabulary.
+
+A :class:`ReplanDecision` is one action the control plane asks the running
+simulator to take at an epoch boundary.  Decisions are frozen and fully
+value-typed so a controller run can be characterised by its decision
+*sequence* alone — the determinism tests serialise every decision with
+:meth:`ReplanDecision.as_dict` and require byte-identical JSON across
+repeated runs with the same seed and trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReplanDecision", "DECISION_KINDS"]
+
+#: Every decision kind the control plane can emit.
+DECISION_KINDS = ("reallocate", "migrate", "fuse", "defuse", "shed")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplanDecision:
+    """One epoch-boundary action.
+
+    ``kind``
+        ``"reallocate"`` — move units between agents so the live
+        allocation matches ``per_agent`` (the Theorem-1 split re-run on
+        observed busy shares);
+        ``"migrate"`` — a single-unit reallocation, called out separately
+        because it maps to one Algorithm-1 hop (``agent`` → ``partner``);
+        ``"fuse"`` / ``"defuse"`` — link / unlink the agent pair
+        (``agent``, ``partner``) for soft fusion;
+        ``"shed"`` — the shedder crossed its hard ceiling this epoch
+        (informational; admission control itself runs per event).
+    ``epoch``
+        Ordinal of the control epoch that produced the decision.
+    ``ts``
+        Virtual time of the epoch boundary.
+    ``per_agent``
+        The target unit allocation after applying the decision.
+    """
+
+    kind: str
+    epoch: int
+    ts: float
+    per_agent: tuple[int, ...]
+    agent: int | None = None
+    partner: int | None = None
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        record = {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "ts": self.ts,
+            "per_agent": list(self.per_agent),
+        }
+        if self.agent is not None:
+            record["agent"] = self.agent
+        if self.partner is not None:
+            record["partner"] = self.partner
+        if self.reason:
+            record["reason"] = self.reason
+        return record

@@ -1,0 +1,229 @@
+"""The runtime control plane (epoch-driven re-planning).
+
+:class:`ControlPlane` closes the loop that build-time planning leaves
+open: the Theorem-1 allocation is only as good as the statistics it was
+computed from, and a regime shift mid-stream (hot symbols rotating, burst
+phases) silently strands units on agents whose load evaporated.  The
+plane watches the live drift signal — the same predicted-vs-observed
+busy-share comparison the post-hoc calibration report computes, fed
+incrementally through a :class:`~repro.obs.drift.DriftEstimator` — and on
+the simulator's snapshot cadence ("epochs") emits deterministic
+:class:`~repro.control.decisions.ReplanDecision`\\ s:
+
+* ``reallocate`` / ``migrate`` — when more units are misplaced than the
+  calibration tolerance forgives, re-run the proportional allocation on
+  the *observed* busy shares and move units to match (a single-unit fix
+  is reported as a ``migrate``, naming donor and recipient);
+* ``fuse`` / ``defuse`` — when an agent goes cold while pinned at the
+  one-unit allocation floor, soft-fuse it with its hottest neighbour so
+  its unit can serve the neighbour without the once-per-window hop
+  rate-limit; unlink once the pair's load evens out;
+* ``shed`` — an edge-triggered marker that the attached
+  :class:`~repro.control.shedding.LoadShedder` crossed its hard ceiling
+  (admission control itself runs per event in the splitter).
+
+Determinism: decisions are pure functions of the observation stream and
+the epoch clock — no wall clock, no randomness — so a run with the same
+seed and trace produces a byte-identical decision sequence (pinned by the
+controller-determinism tests).  Acting epochs are rate-limited to one per
+window of virtual time, and each re-allocation resets the estimator so
+the next decision is judged against post-replan observations only.
+"""
+
+from __future__ import annotations
+
+from repro.control.decisions import ReplanDecision
+from repro.control.shedding import LoadShedder
+from repro.costmodel.model import allocation_moves
+from repro.obs.calibration import DEFAULT_TOLERANCE
+from repro.obs.drift import DriftEstimator
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["ControlPlane"]
+
+#: Observed share below this fraction of the fair share reads as "cold"
+#: (fuse trigger, at the one-unit floor); a linked pair defuses once both
+#: members climb back above half the fair share.
+_COLD_FACTOR = 0.25
+_DEFUSE_FACTOR = 0.5
+
+#: Busy observations required since the last plan before acting — fewer
+#: and the observed shares are noise, not signal.
+_MIN_OBSERVATIONS = 64
+
+
+class ControlPlane:
+    """Epoch-driven re-planning over a live drift signal.
+
+    The driving simulator feeds :meth:`note_plan` (at build and after
+    applying each re-allocation the plane itself requested) and
+    :meth:`observe_busy` (one call per work item), then invokes
+    :meth:`epoch` from the kernel's snapshot hook and *applies* whatever
+    decisions come back.  The plane never touches engine state — it is a
+    pure policy object, which is what makes its decision sequence
+    testable in isolation.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float,
+        tolerance: float = DEFAULT_TOLERANCE,
+        min_items: int = _MIN_OBSERVATIONS,
+        epoch_gap: float | None = None,
+        shedder: LoadShedder | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.window = window
+        self.epoch_gap = window if epoch_gap is None else epoch_gap
+        self.min_items = min_items
+        self.estimator = DriftEstimator(tolerance)
+        self.shedder = shedder
+        self.tracer = tracer
+        self.epochs = 0
+        self.decisions: list[ReplanDecision] = []
+        self.links: set[tuple[int, int]] = set()
+        self._last_action_ts = float("-inf")
+        self._was_critical = False
+
+    # -- observation feed ------------------------------------------------ #
+
+    def note_plan(self, per_agent, loads) -> None:
+        self.estimator.note_plan(list(per_agent), list(loads))
+
+    def observe_busy(self, agent: int, dur: float) -> None:
+        self.estimator.note_busy(agent, dur)
+
+    # -- the epoch tick --------------------------------------------------- #
+
+    def epoch(self, now: float) -> list[ReplanDecision]:
+        """Evaluate one control epoch at virtual time *now*.
+
+        Returns the decisions the simulator must apply, in order.  May be
+        empty (the common case: no drift, no overload edge).
+        """
+        self.epochs += 1
+        out: list[ReplanDecision] = []
+        est = self.estimator
+
+        if self.shedder is not None:
+            critical = self.shedder.critical
+            if critical and not self._was_critical:
+                out.append(ReplanDecision(
+                    kind="shed",
+                    epoch=self.epochs,
+                    ts=now,
+                    per_agent=tuple(est.per_agent),
+                    reason=(
+                        f"backlog {self.shedder.backlog} past hard ceiling "
+                        f"(bound {self.shedder.bound})"
+                    ),
+                ))
+            self._was_critical = critical
+
+        if (
+            now - self._last_action_ts >= self.epoch_gap
+            and est.items >= self.min_items
+            and est.num_agents >= 2
+        ):
+            action = self._plan_action(now)
+            if action is not None:
+                out.append(action)
+                self._last_action_ts = now
+
+        self._emit(out)
+        return out
+
+    def _plan_action(self, now: float) -> ReplanDecision | None:
+        """At most one allocation-shaping action per acting epoch."""
+        est = self.estimator
+        current = list(est.per_agent)
+        optimal = est.optimal_allocation()
+        moves = allocation_moves(current, optimal)
+        if moves > est.allowed_moves():
+            agent = partner = None
+            kind = "reallocate"
+            if moves == 1:
+                # Exactly one unit crosses: one donor, one recipient.
+                kind = "migrate"
+                for index, (have, want) in enumerate(zip(current, optimal)):
+                    if have > want:
+                        agent = index
+                    elif have < want:
+                        partner = index
+            decision = ReplanDecision(
+                kind=kind,
+                epoch=self.epochs,
+                ts=now,
+                per_agent=tuple(optimal),
+                agent=agent,
+                partner=partner,
+                reason=f"drift moves {moves} > allowed {est.allowed_moves()}",
+            )
+            # Judge the new allocation against post-replan observations
+            # only; the observed busy at replan time is its load forecast.
+            est.note_plan(optimal, est.busy)
+            return decision
+        return self._fusion_action(now, current, est.observed_shares())
+
+    def _fusion_action(
+        self, now: float, current: list[int], shares: list[float]
+    ) -> ReplanDecision | None:
+        fair = 1.0 / len(current)
+        # Defuse first: a stale link misroutes before a missing one hurts.
+        for pair in sorted(self.links):
+            first, second = pair
+            if (
+                shares[first] >= _DEFUSE_FACTOR * fair
+                and shares[second] >= _DEFUSE_FACTOR * fair
+            ):
+                self.links.discard(pair)
+                return ReplanDecision(
+                    kind="defuse",
+                    epoch=self.epochs,
+                    ts=now,
+                    per_agent=tuple(current),
+                    agent=first,
+                    partner=second,
+                    reason="pair load evened out",
+                )
+        for index, share in enumerate(shares):
+            if share >= _COLD_FACTOR * fair or current[index] > 1:
+                continue
+            # Cold and pinned at the floor: link with the hotter adjacent
+            # neighbour (lower index wins ties — determinism).
+            neighbours = [
+                n for n in (index - 1, index + 1) if 0 <= n < len(shares)
+            ]
+            neighbours.sort(key=lambda n: (-shares[n], n))
+            for neighbour in neighbours:
+                if shares[neighbour] <= fair:
+                    continue
+                pair = (min(index, neighbour), max(index, neighbour))
+                if pair in self.links:
+                    continue
+                self.links.add(pair)
+                return ReplanDecision(
+                    kind="fuse",
+                    epoch=self.epochs,
+                    ts=now,
+                    per_agent=tuple(current),
+                    agent=pair[0],
+                    partner=pair[1],
+                    reason=(
+                        f"agent {index} cold at unit floor, "
+                        f"neighbour {neighbour} hot"
+                    ),
+                )
+        return None
+
+    def _emit(self, decisions: list[ReplanDecision]) -> None:
+        if not decisions or not self.tracer.enabled:
+            self.decisions.extend(decisions)
+            return
+        for decision in decisions:
+            self.tracer.replan(
+                decision.ts, decision.kind, list(decision.per_agent),
+                decision.reason,
+            )
+        self.decisions.extend(decisions)

@@ -1,0 +1,98 @@
+"""Build-time planning, shared by the engine and the control plane.
+
+This is the planning step that used to live inline in
+:meth:`repro.hypersonic.engine.HypersonicEngine.build`: decide the agent
+grouping (Algorithm-2 fusion or one agent per stage) and the Theorem-1
+unit allocation, and announce the plan on the tracer.  Extracting it lets
+the runtime control plane re-run *the same* planning arithmetic mid-run —
+on refreshed statistics or observed loads — without importing the engine.
+
+Determinism note: for identical inputs this function performs exactly the
+arithmetic the inlined block performed, in the same order, with the same
+tracer calls — the golden suite pins bit-identical results per strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.nfa import ChainNFA
+from repro.costmodel.model import CostParameters, WorkloadStatistics
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # function-local at runtime: the engine imports us
+    from repro.hypersonic.allocation import AllocationPlan
+    from repro.hypersonic.fusion import FusionPlan
+
+__all__ = ["BuildPlan", "plan_build"]
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """Outcome of one planning pass.
+
+    Exactly one of ``fusion_plan`` / ``allocation_plan`` is set, matching
+    which branch planned; ``groups`` and ``per_agent`` are the common
+    product both the engine wiring and the control plane consume.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    per_agent: tuple[int, ...]
+    fusion_plan: FusionPlan | None = None
+    allocation_plan: AllocationPlan | None = None
+
+
+def plan_build(
+    nfa: ChainNFA,
+    stats: WorkloadStatistics,
+    num_units: int,
+    costs: CostParameters,
+    *,
+    fusion: bool = False,
+    force_fusion_pairs: tuple[tuple[int, int], ...] = (),
+    allocation: str = "cost",
+    tracer: Tracer = NULL_TRACER,
+    plan_ts: float = 0.0,
+) -> BuildPlan:
+    """Plan agent groups and the per-agent unit allocation.
+
+    With *fusion* (or forced pairs) the Algorithm-2 planner decides both
+    grouping and allocation; otherwise every stage past the first gets its
+    own agent and :func:`allocate_units` splits the pool per *allocation*
+    ("cost" = Theorem 1, "equal" = ablation).  When the tracer records,
+    the plan is announced at *plan_ts* (build time passes ``0.0``; a
+    mid-run replan passes the current virtual time).
+    """
+    # Imported here, not at module top: the engine imports this module, so
+    # a top-level hypersonic import would re-enter a half-initialised
+    # package whenever ``repro.control`` loads first.
+    from repro.hypersonic.allocation import allocate_units
+    from repro.hypersonic.fusion import plan_with_fusion
+
+    if fusion or force_fusion_pairs:
+        fusion_plan = plan_with_fusion(
+            nfa, stats, num_units, costs, force_pairs=force_fusion_pairs,
+        )
+        if tracer.enabled:
+            plan = fusion_plan.describe()
+            tracer.fusion_plan(plan_ts, plan["groups"], plan["per_agent"])
+        return BuildPlan(
+            groups=fusion_plan.groups,
+            per_agent=tuple(fusion_plan.per_agent),
+            fusion_plan=fusion_plan,
+        )
+    allocation_plan = allocate_units(
+        nfa, stats, num_units, scheme=allocation, costs=costs,
+    )
+    if tracer.enabled:
+        plan = allocation_plan.describe()
+        tracer.alloc_plan(
+            plan_ts, plan["per_agent"], plan["loads"], plan["scheme"],
+            features=plan["features"],
+        )
+    return BuildPlan(
+        groups=tuple((stage,) for stage in range(1, nfa.num_stages)),
+        per_agent=tuple(allocation_plan.per_agent),
+        allocation_plan=allocation_plan,
+    )

@@ -227,8 +227,11 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     if sxx == 0.0 or syy == 0.0:
         return 0.0
     # sqrt each factor separately: for tiny deviations the product
-    # sxx * syy underflows to 0.0 while both factors are nonzero.
-    return cov / (math.sqrt(sxx) * math.sqrt(syy))
+    # sxx * syy underflows to 0.0 while both factors are nonzero.  Clamp
+    # the quotient: with denormal deviations the separate roundings can
+    # push it a hair past the mathematical bound of +/-1.
+    value = cov / (math.sqrt(sxx) * math.sqrt(syy))
+    return max(-1.0, min(1.0, value))
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ __all__ = [
     "substream_rates",
     "split_by_type",
     "throttle",
+    "concat_streams",
 ]
 
 
@@ -262,3 +263,35 @@ def throttle(
 ) -> Iterator[Event]:
     """Drop events failing *predicate* (generic filtering helper)."""
     return (event for event in stream if predicate(event))
+
+
+def concat_streams(*segments: Sequence[Event], gap: float = 0.0) -> list[Event]:
+    """Stitch independently generated stream segments into one in-order
+    stream.
+
+    Each segment after the first is re-stamped so its timestamps continue
+    ``gap`` after the previous segment's last event (segment-local
+    timestamps are preserved as offsets), and its events are re-created so
+    ids stay globally fresh.  This is the canonical way to build
+    regime-shifting workloads: generate each regime with its own
+    generator config and seed, then concatenate — the same idiom the
+    bench harness uses for its rate-shift scenario.
+    """
+    out: list[Event] = []
+    for segment in segments:
+        seg = list(segment)
+        if not seg:
+            continue
+        if out:
+            shift = out[-1].timestamp + gap
+            seg = [
+                Event(
+                    type=event.type,
+                    timestamp=event.timestamp + shift,
+                    attributes=event.attributes,
+                    payload_size=event.payload_size,
+                )
+                for event in seg
+            ]
+        out.extend(seg)
+    return out

@@ -251,15 +251,18 @@ class HistoryColumn:
                     [self.norms[indices[pos]] for pos in dense], dtype=float
                 )
                 corrs = covs / (norms * qnorm)
+                # Same quotient clamp as the scalar function: separate
+                # roundings can land a hair past the mathematical bound.
                 for pos, corr in zip(dense, corrs.tolist()):
-                    out[pos] = corr
+                    out[pos] = max(-1.0, min(1.0, corr))
                 return out
         for pos in dense:
             row = self.rows[indices[pos]]
             cov = 0.0
             for a, b in zip(row, qc):
                 cov += a * b
-            out[pos] = cov / (self.norms[indices[pos]] * qnorm)
+            value = cov / (self.norms[indices[pos]] * qnorm)
+            out[pos] = max(-1.0, min(1.0, value))
         return out
 
     def _dense_matrix(self):

@@ -16,6 +16,7 @@ from repro.costmodel.model import (
     CostParameters,
     LoadModel,
     WorkloadStatistics,
+    allocation_moves,
     average_match_sizes,
     kleene_match_rate,
     match_arrival_rates,
@@ -38,6 +39,7 @@ __all__ = [
     "match_arrival_rates",
     "output_rates",
     "proportional_allocation",
+    "allocation_moves",
     "estimate_statistics",
     "statistics_from_sample",
     "FitResult",

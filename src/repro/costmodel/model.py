@@ -43,6 +43,7 @@ __all__ = [
     "kleene_match_rate",
     "average_match_sizes",
     "proportional_allocation",
+    "allocation_moves",
 ]
 
 #: Names of the columns of :meth:`LoadModel.load_features`, in order.  The
@@ -481,3 +482,21 @@ def proportional_allocation(loads: Sequence[float], total_units: int) -> list[in
         for index in range(remainder):
             floors[fractional[index % num_agents]] += 1
     return floors
+
+
+def allocation_moves(actual: Sequence[int], ideal: Sequence[int]) -> int:
+    """Units that must change agents to turn *actual* into *ideal*.
+
+    Both allocations must cover the same agents and sum to the same pool
+    size; each surplus unit moved fixes one deficit, so the distance is
+    half the total absolute difference.  Shared by post-hoc calibration
+    (:func:`repro.obs.calibration.calibration_report`) and the live drift
+    estimator (:class:`repro.obs.drift.DriftEstimator`) so both report the
+    same re-balancing distance for the same shares.
+    """
+    if len(actual) != len(ideal):
+        raise AllocationError(
+            f"allocation_moves needs equal-length allocations, got "
+            f"{len(actual)} and {len(ideal)}"
+        )
+    return sum(abs(a - b) for a, b in zip(actual, ideal)) // 2

@@ -1,6 +1,7 @@
 """Synthetic datasets standing in for the paper's NASDAQ and smart-home data."""
 
 from repro.datasets.base import ArrivalProcess, DatasetConfig, interleave_arrivals
+from repro.datasets.bursty import BurstyConfig, generate_bursty_stream
 from repro.datasets.loader import (
     CSVStreamSource,
     iter_stream,
@@ -25,6 +26,8 @@ __all__ = [
     "ArrivalProcess",
     "DatasetConfig",
     "interleave_arrivals",
+    "BurstyConfig",
+    "generate_bursty_stream",
     "CSVStreamSource",
     "iter_stream",
     "load_stream",

@@ -26,12 +26,13 @@ from repro.core.streams import as_source
 from repro.core.matches import Match
 from repro.core.nfa import ChainNFA, compile_pattern
 from repro.core.patterns import Operator, Pattern
+from repro.control.planning import plan_build
 from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.costmodel.statistics import estimate_statistics
 from repro.hypersonic.agent import AgentCore
-from repro.hypersonic.allocation import AllocationPlan, allocate_units
+from repro.hypersonic.allocation import AllocationPlan
 from repro.hypersonic.buffers import BufferSnapshot
-from repro.hypersonic.fusion import FusionPlan, build_agent, plan_with_fusion
+from repro.hypersonic.fusion import FusionPlan, build_agent
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
 from repro.hypersonic.splitter import RouteTarget, Splitter
 from repro.hypersonic.workers import ExecutionUnit, WorkerPolicy, assign_roles
@@ -142,32 +143,17 @@ class HypersonicEngine:
         config = self.config
         nfa = self.nfa
 
-        if config.fusion or config.force_fusion_pairs:
-            self.fusion_plan = plan_with_fusion(
-                nfa,
-                self.stats,
-                self.num_units,
-                self.costs,
-                force_pairs=config.force_fusion_pairs,
-            )
-            groups = self.fusion_plan.groups
-            per_agent = list(self.fusion_plan.per_agent)
-            if self.tracer.enabled:
-                plan = self.fusion_plan.describe()
-                self.tracer.fusion_plan(0.0, plan["groups"], plan["per_agent"])
-        else:
-            self.allocation_plan = allocate_units(
-                nfa, self.stats, self.num_units,
-                scheme=config.allocation, costs=self.costs,
-            )
-            groups = tuple((stage,) for stage in range(1, nfa.num_stages))
-            per_agent = list(self.allocation_plan.per_agent)
-            if self.tracer.enabled:
-                plan = self.allocation_plan.describe()
-                self.tracer.alloc_plan(
-                    0.0, plan["per_agent"], plan["loads"], plan["scheme"],
-                    features=plan["features"],
-                )
+        build_plan = plan_build(
+            nfa, self.stats, self.num_units, self.costs,
+            fusion=config.fusion,
+            force_fusion_pairs=config.force_fusion_pairs,
+            allocation=config.allocation,
+            tracer=self.tracer,
+        )
+        self.fusion_plan = build_plan.fusion_plan
+        self.allocation_plan = build_plan.allocation_plan
+        groups = build_plan.groups
+        per_agent = list(build_plan.per_agent)
 
         splitter = Splitter(nfa=nfa, tracer=self.tracer)
         self.splitter = splitter

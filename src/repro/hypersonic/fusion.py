@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 from repro.core.errors import AllocationError, PatternError
 from repro.core.events import Event
 from repro.core.matches import PartialMatch
-from repro.core.nfa import ChainNFA, Stage, seq_order_allows
+from repro.core.nfa import ChainNFA, Stage, last_bound_event, seq_order_allows
 from repro.costmodel.model import (
     CostParameters,
     WorkloadStatistics,
@@ -100,6 +100,19 @@ class FusedAgentCore:
         self.latest_internal = float("-inf")
         self.items_processed = 0
 
+        # Batched execution mode (opt-in via :meth:`enable_vector_mode`):
+        # one StageKernel per fused stage, plus per-owner columnar views
+        # over the four fragments.  ``None`` kernel = stage not
+        # vectorizable; that side of the join keeps the scalar loop.
+        self.vector_mode = False
+        self._kernel1 = None
+        self._kernel2 = None
+        self._kernels_compiled = False
+        self._mb1_columns: dict[int, object] = {}
+        self._mb2_columns: dict[int, object] = {}
+        self._eb1_columns: dict[int, object] = {}
+        self._eb2_columns: dict[int, object] = {}
+
     # -- work intake ----------------------------------------------------- #
 
     def has_event_work(self, now: float = float("inf")) -> bool:
@@ -148,6 +161,205 @@ class FusedAgentCore:
             return self._process_match(item.payload, unit_id)
         raise AllocationError(f"fused agent cannot process {item.kind}")
 
+    def enable_vector_mode(self) -> bool:
+        """Compile both fused stages' vectorized kernels (batched mode).
+
+        Returns ``True`` when at least one side is vectorizable; each side
+        without a kernel keeps its scalar loop.  Idempotent.
+        """
+        if not self._kernels_compiled:
+            from repro.core.vectorized import compile_stage_kernel
+
+            self._kernel1 = compile_stage_kernel(self.first)
+            self._kernel2 = compile_stage_kernel(self.second)
+            self._kernels_compiled = True
+        self.vector_mode = (
+            self._kernel1 is not None or self._kernel2 is not None
+        )
+        return self.vector_mode
+
+    def process_batch(self, items: list[WorkItem], unit_id: int) -> Receipt:
+        """Process a micro-batch of work items with one merged receipt.
+
+        Single-kind event batches on a vectorized side take the batched
+        scan — one MB-fragment traversal amortized over the batch; mixed
+        kinds or a missing kernel fall back to the scalar loop.  The match
+        set is identical either way (exactly-once pair evaluation, as for
+        the plain agent's batched path).
+        """
+        if len(items) > 1:
+            if self._kernel1 is not None and all(
+                item.kind is ItemKind.EVENT for item in items
+            ):
+                self.items_processed += len(items)
+                return self._process_e1_batch(
+                    [item.payload for item in items], unit_id
+                )
+            if self._kernel2 is not None and all(
+                item.kind is ItemKind.EVENT2 for item in items
+            ):
+                self.items_processed += len(items)
+                return self._process_e2_batch(
+                    [item.payload for item in items], unit_id
+                )
+        receipt = Receipt()
+        for item in items:
+            receipt.merge(self.process(item, unit_id))
+        return receipt
+
+    def _process_e1_batch(
+        self, events: list[Event], unit_id: int
+    ) -> Receipt:
+        """Batched first-stage scan: one MB1 traversal over the batch.
+
+        ES1 deliveries are timestamp-FIFO, so the purge horizon from the
+        batch's *first* event is lax for every later one; extra retained
+        items cannot match (they fail ``fits_with``), keeping the match
+        set identical to the scalar order.  The same lax horizon caps the
+        internal MB2/EB2 purges — mid-batch ``latest_internal`` may run
+        ahead of the event in hand, and purging with it would drop EB2
+        events an earlier event's extension could still reach.
+        """
+        receipt = Receipt()
+        window = self.window
+        kernel = self._kernel1
+        horizon = events[0].timestamp - window - self.purge_slack
+        for event in events:
+            if event.timestamp > self.latest_e1:
+                self.latest_e1 = event.timestamp
+        for owner, _fragment in self.mb1.fragments():
+            self._purge(self.mb1, owner, horizon, match=True)
+            resident = self.mb1._fragments.get(owner)
+            if not resident:
+                receipt.note_fragment(0)
+                continue
+            receipt.note_fragment(len(resident))
+            columns = self._match_columns(
+                self._mb1_columns, self.mb1, owner, kernel,
+                self.first_index, resident,
+            )
+            for event in events:
+                candidates = columns.candidate_indices(event, window)
+                if not candidates:
+                    continue
+                receipt.vector_comparisons += len(candidates)
+                accepted = kernel.accepts_over_matches(
+                    event, columns, candidates,
+                    scalar=lambda i, e=event, r=resident: (
+                        self.first.accepts(r[i], e)
+                    ),
+                )
+                for index in accepted:
+                    extended = resident[index].extended(
+                        self.first.item.name, event
+                    )
+                    self._into_second(
+                        extended, unit_id, receipt, horizon_cap=horizon
+                    )
+        for event in events:
+            self.eb1.store(unit_id, event)
+            self.agb.retain_event(event)
+        return receipt
+
+    def _process_e2_batch(
+        self, events: list[Event], unit_id: int
+    ) -> Receipt:
+        """Batched second-stage scan: one MB2 traversal over the batch
+        (same FIFO horizon argument as :meth:`_process_e1_batch`)."""
+        receipt = Receipt()
+        window = self.window
+        kernel = self._kernel2
+        horizon = events[0].timestamp - window - self.purge_slack
+        for event in events:
+            if event.timestamp > self.latest_e2:
+                self.latest_e2 = event.timestamp
+        for owner, _fragment in self.mb2.fragments():
+            self._purge(self.mb2, owner, horizon, match=True)
+            resident = self.mb2._fragments.get(owner)
+            if not resident:
+                receipt.note_fragment(0)
+                continue
+            receipt.note_fragment(len(resident))
+            columns = self._match_columns(
+                self._mb2_columns, self.mb2, owner, kernel,
+                self.second_index, resident,
+            )
+            for event in events:
+                candidates = columns.candidate_indices(event, window)
+                if not candidates:
+                    continue
+                receipt.vector_comparisons += len(candidates)
+                accepted = kernel.accepts_over_matches(
+                    event, columns, candidates,
+                    scalar=lambda i, e=event, r=resident: (
+                        self.second.accepts(r[i], e)
+                    ),
+                )
+                for index in accepted:
+                    final = resident[index].extended(
+                        self.second.item.name, event
+                    )
+                    receipt.successes += 1
+                    receipt.emitted_down.append(final)
+        for event in events:
+            self.eb2.store(unit_id, event)
+            self.agb.retain_event(event)
+        return receipt
+
+    def _match_columns(self, cache: dict, buffer: FragmentedBuffer,
+                       owner: int, kernel, stage_index: int,
+                       fragment: list):
+        from repro.core.vectorized import MatchColumns
+
+        version = buffer.version(owner)
+        columns = cache.get(owner)
+        if columns is None or columns.version != version:
+            columns = MatchColumns(kernel, version, self.stages, stage_index)
+            cache[owner] = columns
+        columns.sync(fragment)
+        return columns
+
+    def _event_columns(self, cache: dict, buffer: FragmentedBuffer,
+                       owner: int, kernel, fragment: list):
+        from repro.core.vectorized import EventColumns
+
+        version = buffer.version(owner)
+        columns = cache.get(owner)
+        if columns is None or columns.version != version:
+            columns = EventColumns(kernel, version)
+            cache[owner] = columns
+        columns.sync(fragment)
+        return columns
+
+    def _scan_events_vector(self, partial: PartialMatch, resident: list,
+                            owner: int, cache: dict,
+                            buffer: FragmentedBuffer, kernel,
+                            stage_index: int, stage: Stage,
+                            receipt: Receipt) -> list[PartialMatch]:
+        """Vectorized EB-fragment scan for one partial match: window/order
+        pre-masks over the columnar view, then the stage kernel over the
+        surviving candidates.  Returns the extensions in fragment order."""
+        columns = self._event_columns(cache, buffer, owner, kernel, resident)
+        last = last_bound_event(partial, self.stages, stage_index)
+        if last is None:
+            last_ts, last_id = float("-inf"), -1
+        else:
+            last_ts, last_id = last.timestamp, last.event_id
+        candidates = columns.candidate_indices(
+            partial.earliest, partial.latest, last_ts, last_id, self.window
+        )
+        if not candidates:
+            return []
+        receipt.vector_comparisons += len(candidates)
+        accepted = kernel.accepts_over_events(
+            partial, columns, candidates,
+            scalar=lambda i: stage.accepts(partial, resident[i]),
+        )
+        return [
+            partial.extended(stage.item.name, resident[index])
+            for index in accepted
+        ]
+
     def _process_e1(self, event: Event, unit_id: int) -> Receipt:
         receipt = Receipt()
         if event.timestamp > self.latest_e1:
@@ -192,6 +404,13 @@ class FusedAgentCore:
             self._purge(self.eb1, owner, horizon, match=False)
             resident = self.eb1._fragments.get(owner, ())
             receipt.note_fragment(len(resident))
+            if self._kernel1 is not None and resident:
+                for extended in self._scan_events_vector(
+                    partial, resident, owner, self._eb1_columns, self.eb1,
+                    self._kernel1, self.first_index, self.first, receipt,
+                ):
+                    self._into_second(extended, unit_id, receipt)
+                continue
             for event in resident:
                 extended = self._join_first(partial, event, receipt)
                 if extended is not None:
@@ -201,18 +420,34 @@ class FusedAgentCore:
         return receipt
 
     def _into_second(
-        self, extended: PartialMatch, unit_id: int, receipt: Receipt
+        self, extended: PartialMatch, unit_id: int, receipt: Receipt,
+        horizon_cap: float | None = None,
     ) -> None:
         """An internal match entering MB2: join against EB2 immediately,
         then store — the paper's 'written to MB_{i+1} triggering a
-        comparison against EB_{i+1}'."""
+        comparison against EB_{i+1}'.
+
+        ``horizon_cap`` bounds the EB2 purge during a batched first-stage
+        scan, where ``latest_internal`` can run ahead of the event whose
+        extensions are still being joined (see ``_process_e1_batch``).
+        """
         if extended.timestamp > self.latest_internal:
             self.latest_internal = extended.timestamp
         horizon = self.latest_internal - self.window - self.purge_slack
+        if horizon_cap is not None and horizon_cap < horizon:
+            horizon = horizon_cap
         for owner, _fragment in self.eb2.fragments():
             self._purge(self.eb2, owner, horizon, match=False)
             resident = self.eb2._fragments.get(owner, ())
             receipt.note_fragment(len(resident))
+            if self._kernel2 is not None and resident:
+                for final in self._scan_events_vector(
+                    extended, resident, owner, self._eb2_columns, self.eb2,
+                    self._kernel2, self.second_index, self.second, receipt,
+                ):
+                    receipt.successes += 1
+                    receipt.emitted_down.append(final)
+                continue
             for event in resident:
                 final = self._join_second(extended, event, receipt)
                 if final is not None:
@@ -262,11 +497,9 @@ class FusedAgentCore:
             else:
                 self.agb.release_event(item)
         if len(kept) != len(fragment):
-            buffer.purged += len(fragment) - len(kept)
-            if kept:
-                buffer._fragments[owner] = kept
-            else:
-                del buffer._fragments[owner]
+            # replace_fragment bumps the fragment's purge version, which
+            # invalidates any cached columnar view over it (batched mode).
+            buffer.replace_fragment(owner, kept)
 
     # -- introspection ----------------------------------------------------- #
 

@@ -46,6 +46,7 @@ class SplitterReceipt:
     pushes: int = 0
     comparisons: int = 0
     dropped: bool = False
+    shed: bool = False
 
 
 @dataclass
@@ -59,6 +60,11 @@ class Splitter:
     events_dropped: int = 0
     drops_by_type: dict[str, int] = field(default_factory=dict)
     tracer: Tracer = NULL_TRACER
+    #: Optional overload admission controller
+    #: (:class:`repro.control.shedding.LoadShedder`); ``None`` keeps the
+    #: route path exactly as it was.
+    shedder: object | None = None
+    events_shed: int = 0
     _sealed: bool = False
 
     def add_route(self, type_name: str, target: RouteTarget) -> None:
@@ -93,6 +99,17 @@ class Splitter:
             self.drops_by_type[name] = self.drops_by_type.get(name, 0) + 1
             if self.tracer.enabled:
                 self.tracer.splitter_drop(ready_at, name)
+            return receipt
+        # Overload admission control runs *after* the watermark advance:
+        # a shed event is gone, but its timestamp still proved stream
+        # progress — exactly like a dropped foreign-type event — so the
+        # negation quarantine keeps releasing.
+        if self.shedder is not None and self.shedder.should_shed(event):
+            receipt.shed = True
+            self.events_shed += 1
+            if self.tracer.enabled:
+                self.tracer.shed(ready_at, event.type.name,
+                                 self.shedder.policy)
             return receipt
         self.events_routed += 1
         stage0 = self.nfa.stages[0]

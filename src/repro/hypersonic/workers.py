@@ -92,9 +92,29 @@ class WorkerPolicy:
     rng: random.Random = field(default_factory=lambda: random.Random(7))
     max_probes: int = 8
     tracer: Tracer = NULL_TRACER
+    #: Soft-fused agent pairs (control-plane ``fuse`` decisions): a unit
+    #: may serve a linked partner of its current agent as if it were its
+    #: own — no hop, no rate-limit, no residency change.  Empty by
+    #: default, so static runs never touch this path.
+    links: set = field(default_factory=set)
 
     def watermark(self) -> float:  # overridden by the engine wiring
         return float("inf")
+
+    def link(self, first: int, second: int) -> None:
+        self.links.add((min(first, second), max(first, second)))
+
+    def unlink(self, first: int, second: int) -> None:
+        self.links.discard((min(first, second), max(first, second)))
+
+    def _linked_partners(self, agent_index: int) -> list[int]:
+        partners = []
+        for first, second in sorted(self.links):
+            if first == agent_index:
+                partners.append(second)
+            elif second == agent_index:
+                partners.append(first)
+        return partners
 
     # ------------------------------------------------------------------ #
 
@@ -110,6 +130,19 @@ class WorkerPolicy:
                     unit.primary_role, choice.role,
                 )
             return choice
+        if self.links:
+            # Soft fusion: serve a linked partner in place, bypassing the
+            # Algorithm-1 hop rate-limit (the pair shares its unit pool).
+            for partner in self._linked_partners(unit.current_agent):
+                choice = self._try_agent(partner, unit.primary_role, now)
+                if choice is not None:
+                    unit.idle_streak = 0
+                    if self.tracer.enabled and choice.role != unit.primary_role:
+                        self.tracer.role_switch(
+                            now, unit.unit_id, partner,
+                            unit.primary_role, choice.role,
+                        )
+                    return choice
         if self.agent_dynamic:
             hop_choice = self._try_hop(unit, now)
             if hop_choice is not None:

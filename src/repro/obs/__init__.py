@@ -34,6 +34,7 @@ from repro.obs.export import (
 )
 from repro.obs.analysis import latency_breakdown, percentile
 from repro.obs.calibration import calibration_report
+from repro.obs.drift import DriftEstimator, DriftTracer
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -50,6 +51,7 @@ from repro.obs.dashboard import (
     final_frame,
     render_frame,
     replay_frames,
+    tile_frames,
 )
 
 __all__ = [
@@ -66,6 +68,8 @@ __all__ = [
     "latency_breakdown",
     "percentile",
     "calibration_report",
+    "DriftEstimator",
+    "DriftTracer",
     "Counter",
     "Gauge",
     "Histogram",
@@ -79,4 +83,5 @@ __all__ = [
     "final_frame",
     "render_frame",
     "replay_frames",
+    "tile_frames",
 ]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.costmodel.model import proportional_allocation
+from repro.costmodel.model import allocation_moves, proportional_allocation
 from repro.obs.analysis import _depth_integral, _events_of
 from repro.obs.tracer import TraceEvent, TraceKind, TraceRecorder
 
@@ -142,9 +142,7 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
     # Empirically optimal Theorem-1 split: proportional allocation re-run
     # on the observed busy shares.
     optimal = proportional_allocation(busy, total_units)
-    moves = sum(
-        abs(actual - ideal) for actual, ideal in zip(per_agent_units, optimal)
-    ) // 2
+    moves = allocation_moves(per_agent_units, optimal)
     allowed = max(1, int(tolerance * total_units))
     within = moves <= allowed
     for row, ideal in zip(rows, optimal):

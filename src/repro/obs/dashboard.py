@@ -35,7 +35,7 @@ import math
 import sys
 import time
 from collections import deque
-from typing import IO, Iterable, Mapping
+from typing import IO, Iterable, Mapping, Sequence
 
 from repro.obs.tracer import NULL_TRACER, TraceEvent, TraceKind, Tracer
 
@@ -47,6 +47,7 @@ __all__ = [
     "render_frame",
     "replay_frames",
     "final_frame",
+    "tile_frames",
     "Dashboard",
     "DashboardTracer",
 ]
@@ -94,8 +95,12 @@ class DashboardState:
         self.latency_known = 0
         self.routed = 0
         self.dropped = 0
+        self.shed = 0
         self.role_switches = 0
         self.migrations = 0
+        self.replans = 0
+        #: Latest control-plane decision: ``{decision, per_agent, reason}``.
+        self.last_replan: dict | None = None
         #: Latest allocation/fusion plan: ``{scheme, per_agent, loads}``.
         self.plan: dict | None = None
         self.agent_busy: dict[int, float] = {}
@@ -144,6 +149,26 @@ class DashboardState:
     def on_splitter_drop(self, ts: float) -> None:
         self._advance(ts)
         self.dropped += 1
+
+    def on_shed(self, ts: float) -> None:
+        self._advance(ts)
+        self.shed += 1
+
+    def on_replan(self, ts: float, decision: str, per_agent,
+                  reason: str) -> None:
+        self._advance(ts)
+        self.replans += 1
+        self.last_replan = {
+            "decision": str(decision),
+            "per_agent": [int(count) for count in per_agent],
+            "reason": str(reason),
+        }
+        # Re-allocation updates the live plan so the drift column tracks
+        # the *current* allocation, exactly like a fresh ALLOC_PLAN would.
+        if self.plan is not None and self.last_replan["per_agent"]:
+            self.plan = dict(
+                self.plan, per_agent=list(self.last_replan["per_agent"])
+            )
 
     def on_alloc_plan(self, ts: float, per_agent, loads, scheme: str) -> None:
         self._advance(ts)
@@ -215,6 +240,13 @@ class DashboardState:
             self.on_match(event.ts, args.get("latency"))
         elif kind == TraceKind.PARTITION_START:
             self.on_partition_start(event.ts)
+        elif kind == TraceKind.REPLAN:
+            self.on_replan(
+                event.ts, args.get("decision", "?"),
+                args.get("per_agent", []), args.get("reason", ""),
+            )
+        elif kind == TraceKind.SHED:
+            self.on_shed(event.ts)
 
     # -- snapshot ------------------------------------------------------- #
 
@@ -245,10 +277,16 @@ class DashboardState:
                     if self.latency_known else 0.0
                 ),
             },
-            "splitter": {"routed": self.routed, "dropped": self.dropped},
+            "splitter": {
+                "routed": self.routed,
+                "dropped": self.dropped,
+                "shed": self.shed,
+            },
             "dynamics": {
                 "role_switches": self.role_switches,
                 "migrations": self.migrations,
+                "replans": self.replans,
+                "last_replan": self.last_replan,
             },
             "agents": agents,
             "units": {
@@ -341,17 +379,33 @@ def render_frame(snapshot: Mapping, plan: Mapping | None = None,
     splitter = _mapping(snapshot.get("splitter"))
     dynamics = _mapping(snapshot.get("dynamics"))
 
+    # Overload/adaptation markers appear only when nonzero so frames of
+    # non-adaptive runs stay byte-identical to the pre-control-plane
+    # goldens.
+    shed_count = _count(splitter.get("shed"))
+    shed_text = f" {shed_count} shed" if shed_count else ""
+    replan_count = _count(dynamics.get("replans"))
+    replan_text = f" {replan_count} rp" if replan_count else ""
     lines = [
         f"repro dashboard · {strategy} · t={now:.1f} · items={items}",
         (
             f"matches {match_count} ({match_rate:.4f}/t, lat "
             f"{_num(matches.get('mean_latency')):.1f}) · split "
             f"{_count(splitter.get('routed'))} routed "
-            f"{_count(splitter.get('dropped'))} dropped · "
+            f"{_count(splitter.get('dropped'))} dropped{shed_text} · "
             f"{_count(dynamics.get('role_switches'))} rs "
-            f"{_count(dynamics.get('migrations'))} mig"
+            f"{_count(dynamics.get('migrations'))} mig{replan_text}"
         ),
     ]
+    last_replan = _mapping(dynamics.get("last_replan"))
+    if last_replan:
+        units_text = "/".join(
+            str(_count(count)) for count in last_replan.get("per_agent") or []
+        )
+        lines.append(
+            f"replan [{last_replan.get('decision', '?')}] units "
+            f"{units_text or '-'} ({last_replan.get('reason', '')})"
+        )
 
     plan_units: list[int] = []
     plan_shares: list[float] | None = None
@@ -488,6 +542,39 @@ def final_frame(trace: "Iterable[TraceEvent]", *,
     return render_frame(state.snapshot(), state.plan, width, height)
 
 
+def tile_frames(frames: "Sequence[str]", *, width: int = DEFAULT_WIDTH,
+                gap: int = 2) -> str:
+    """Compose several rendered frames side by side into one text block.
+
+    Each frame gets an equal column of ``(width - gaps) // n`` characters;
+    frames are re-clipped to that column and padded line by line, so the
+    result is a rectangular block at most *width* characters wide.  Pure
+    and deterministic like :func:`render_frame` — ``bench --dashboard``
+    uses it to show one tile per benched strategy.
+    """
+    frames = [frame for frame in frames if frame]
+    if not frames:
+        return ""
+    if len(frames) == 1:
+        return frames[0]
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    gap = max(0, gap)
+    sep = " " * max(0, gap - 1) + "|" + " " * max(0, gap - 1) if gap else "|"
+    budget = width - len(sep) * (len(frames) - 1)
+    column = max(8, budget // len(frames))
+    split = [frame.splitlines() for frame in frames]
+    rows = max(len(lines) for lines in split)
+    out = []
+    for row in range(rows):
+        cells = [
+            (lines[row] if row < len(lines) else "")[:column].ljust(column)
+            for lines in split
+        ]
+        out.append(sep.join(cells).rstrip())
+    return "\n".join(out)
+
+
 # --------------------------------------------------------------------- #
 # live driver
 # --------------------------------------------------------------------- #
@@ -616,6 +703,14 @@ class DashboardTracer(Tracer):
     def partition_start(self, ts, partition, unit) -> None:
         self.state.on_partition_start(ts)
         self.inner.partition_start(ts, partition, unit)
+
+    def replan(self, ts, decision, per_agent, reason) -> None:
+        self.state.on_replan(ts, decision, per_agent, reason)
+        self.inner.replan(ts, decision, per_agent, reason)
+
+    def shed(self, ts, event_type, policy) -> None:
+        self.state.on_shed(ts)
+        self.inner.shed(ts, event_type, policy)
 
     # Exporters accept any object exposing ``events``; delegate to the
     # inner recorder when it has one (as MetricsTracer does).

@@ -305,6 +305,12 @@ class MetricsTracer(Tracer):
         self._dynamics = reg.counter(
             "sim_dynamics_total", "role switches and migrations"
         )
+        self._replans = reg.counter(
+            "sim_replans_total", "control-plane epoch decisions applied"
+        )
+        self._shed = reg.counter(
+            "sim_shed_total", "events shed by the splitter under overload"
+        )
 
     def _labels(self, **labels: object) -> dict:
         if self._strategy:
@@ -353,6 +359,14 @@ class MetricsTracer(Tracer):
 
     def partition_start(self, ts, partition, unit) -> None:
         self.inner.partition_start(ts, partition, unit)
+
+    def replan(self, ts, decision, per_agent, reason) -> None:
+        self._replans.inc(1, **self._labels(decision=decision))
+        self.inner.replan(ts, decision, per_agent, reason)
+
+    def shed(self, ts, event_type, policy) -> None:
+        self._shed.inc(1, **self._labels(type=event_type, policy=policy))
+        self.inner.shed(ts, event_type, policy)
 
     def frame_tick(self, ts) -> None:
         self.inner.frame_tick(ts)

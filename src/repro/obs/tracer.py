@@ -39,10 +39,13 @@ class TraceKind:
     MIGRATION = "migration"          # instant: Algorithm 1 hop between agents
     MATCH = "match"                  # instant: full match emitted
     PARTITION_START = "partition_start"  # instant: partition run activated
+    REPLAN = "replan"                # instant: control-plane epoch decision
+    SHED = "shed"                    # instant: splitter shed an event (overload)
 
     ALL = (
         UNIT_BUSY, QUEUE_DEPTH, SPLITTER_ROUTE, SPLITTER_DROP, ALLOC_PLAN,
         FUSION_PLAN, ROLE_SWITCH, MIGRATION, MATCH, PARTITION_START,
+        REPLAN, SHED,
     )
 
 
@@ -128,6 +131,16 @@ class Tracer:
 
     def partition_start(self, ts: float, partition: int, unit: int) -> None:
         """A data-parallel partition run was activated on *unit*."""
+
+    def replan(self, ts: float, decision: str, per_agent: list[int],
+               reason: str) -> None:
+        """The runtime control plane acted at an epoch: *decision* is the
+        :class:`~repro.control.decisions.ReplanDecision` kind
+        (``reallocate`` / ``migrate`` / ``fuse`` / ``defuse`` / ``shed``),
+        *per_agent* the unit allocation after applying it."""
+
+    def shed(self, ts: float, event_type: str, policy: str) -> None:
+        """The splitter shed a pattern-relevant event under overload."""
 
     def frame_tick(self, ts: float) -> None:
         """The kernel's snapshot cadence fired (and once more at finish).
@@ -227,4 +240,20 @@ class TraceRecorder(Tracer):
         self.events.append(TraceEvent(
             TraceKind.PARTITION_START, ts, unit=unit,
             args={"partition": partition},
+        ))
+
+    def replan(self, ts: float, decision: str, per_agent: list[int],
+               reason: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.REPLAN, ts,
+            args={
+                "decision": decision,
+                "per_agent": list(per_agent),
+                "reason": reason,
+            },
+        ))
+
+    def shed(self, ts: float, event_type: str, policy: str) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.SHED, ts, args={"type": event_type, "policy": policy},
         ))

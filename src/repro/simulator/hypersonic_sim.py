@@ -34,10 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.control import ControlPlane, LoadShedder, ReplanDecision
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters, WorkloadStatistics
+from repro.hypersonic.agent import AgentCore
 from repro.hypersonic.buffers import BufferSnapshot
 from repro.hypersonic.engine import HypersonicConfig, HypersonicEngine
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
@@ -90,6 +92,9 @@ class HypersonicSimulation:
         tracer: Tracer | None = None,
         model_costs: CostParameters | None = None,
         batch_size: int = 1,
+        adapt: str = "off",
+        shed_bound: int = 0,
+        shed_policy: str | None = None,
     ) -> None:
         # ``costs`` drives the virtual clock — the simulated deployment's
         # actual per-action costs.  ``model_costs`` is the *planner's*
@@ -127,6 +132,20 @@ class HypersonicSimulation:
             tracer=self.tracer,
             costs=self.costs,
         )
+        # Online adaptation (repro.control).  Everything here is ``None``
+        # when ``adapt="off"`` and ``shed_bound == 0`` — the default path
+        # then performs exactly the pre-control-plane arithmetic, pinned
+        # bit-identical by the golden suite.
+        if adapt not in ("off", "on"):
+            raise ValueError(f"adapt must be 'off' or 'on', got {adapt!r}")
+        self.adapt = adapt
+        self.shed_bound = shed_bound
+        self.shed_policy = (
+            shed_policy if shed_policy is not None
+            else ("pattern" if adapt == "on" else "tail")
+        )
+        self.shedder: LoadShedder | None = None
+        self._control: ControlPlane | None = None
         self._splitter_parked = False
         self._inject_times: dict[int, float] = {}
         self._matches: list[Match] = []
@@ -153,6 +172,22 @@ class HypersonicSimulation:
                 enable = getattr(agent, "enable_vector_mode", None)
                 if enable is not None:
                     enable()
+        if self.shed_bound > 0:
+            self.shedder = self._build_shedder()
+            engine.splitter.shedder = self.shedder
+        if self.adapt == "on":
+            self._control = ControlPlane(
+                window=engine.nfa.window,
+                shedder=self.shedder,
+                tracer=self.tracer,
+            )
+            if engine.allocation_plan is not None:
+                plan = engine.allocation_plan.describe()
+                self._control.note_plan(plan["per_agent"], plan["loads"])
+            else:
+                plan = engine.fusion_plan.describe()
+                self._control.note_plan(plan["per_agent"], [])
+            kernel.epoch_hook = self._control_epoch
         kernel.init_units(len(engine.units))
         self._stream = iter(source)
 
@@ -176,7 +211,18 @@ class HypersonicSimulation:
         total_time = kernel.total_time()
         if self.tracer.enabled:
             self._sample_queues(total_time)
-        return kernel.finish(
+        extra_control: dict = {}
+        if self.shedder is not None:
+            extra_control["shed"] = self.shedder.counts()
+        if self._control is not None:
+            extra_control["control"] = {
+                "epochs": self._control.epochs,
+                "decisions": [
+                    decision.as_dict()
+                    for decision in self._control.decisions
+                ],
+            }
+        result = kernel.finish(
             strategy=self.strategy_name,
             events=self._events_routed,
             matches=len(self._matches),
@@ -196,10 +242,101 @@ class HypersonicSimulation:
                 ),
             },
         )
+        result.extra.update(extra_control)
+        return result
 
     @property
     def matches(self) -> list[Match]:
         return self._matches
+
+    @property
+    def control(self) -> ControlPlane | None:
+        return self._control
+
+    # -- online adaptation (repro.control) ------------------------------- #
+
+    def _build_shedder(self) -> LoadShedder:
+        engine = self.engine
+        nfa = engine.nfa
+        guard_types: set[str] = set()
+        consumers: dict[str, object] = {}
+        for agent in engine.agents:
+            guard_types |= set(agent.guard_type_names)
+            if isinstance(agent, AgentCore):
+                consumers[agent.stage.event_type_name] = agent
+            else:  # fused agent: two event inputs
+                consumers[agent.first.event_type_name] = agent
+                consumers[agent.second.event_type_name] = agent
+        return LoadShedder(
+            bound=self.shed_bound,
+            policy=self.shed_policy,
+            guard_types=frozenset(guard_types),
+            seed_types=frozenset({nfa.stages[0].event_type_name}),
+            consumers=consumers,
+        )
+
+    def _control_epoch(self, now: float) -> None:
+        """Kernel snapshot-cadence hook: evaluate one control epoch and
+        apply whatever the plane decided."""
+        control = self._control
+        assert control is not None
+        for decision in control.epoch(now):
+            if decision.kind in ("reallocate", "migrate"):
+                self._apply_reallocation(decision, now)
+            elif decision.kind == "fuse":
+                self.engine.policy.link(decision.agent, decision.partner)
+            elif decision.kind == "defuse":
+                self.engine.policy.unlink(decision.agent, decision.partner)
+            # "shed" decisions are markers; admission control already
+            # runs per event inside the splitter.
+
+    def _apply_reallocation(self, decision: ReplanDecision, now: float) -> None:
+        """Reassign units so primary-agent counts match the decision.
+
+        Deterministic: recipients are filled in agent order; each move
+        takes the highest-numbered unit from the donor with the largest
+        surplus (ties to the lowest donor index).  Roles are kept — the
+        role split re-balances itself through role dynamics.
+        """
+        engine = self.engine
+        kernel = self.kernel
+        units = engine.units
+        target = list(decision.per_agent)
+        counts = [0] * len(target)
+        for unit in units:
+            counts[unit.primary_agent] += 1
+        watermark = engine.splitter.watermark
+        moved: list[tuple[int, int, int]] = []
+        for recipient in range(len(target)):
+            while counts[recipient] < target[recipient]:
+                donor = max(
+                    range(len(target)),
+                    key=lambda i: (counts[i] - target[i], -i),
+                )
+                unit = max(
+                    (u for u in units if u.primary_agent == donor),
+                    key=lambda u: u.unit_id,
+                )
+                unit.primary_agent = recipient
+                unit.current_agent = recipient
+                unit.last_hop_watermark = watermark
+                unit.hops += 1
+                counts[donor] -= 1
+                counts[recipient] += 1
+                moved.append((unit.unit_id, donor, recipient))
+        if self.tracer.enabled:
+            for unit_id, donor, recipient in moved:
+                self.tracer.migration(now, unit_id, donor, recipient)
+            self.tracer.alloc_plan(
+                now, target, list(self._control.estimator.predicted_loads),
+                "replan",
+            )
+        # Moved units may be parked at a drained agent; wake them so they
+        # discover their new home's backlog.
+        for unit_id, _donor, _recipient in moved:
+            if unit_id in kernel.parked:
+                kernel.parked.discard(unit_id)
+                kernel.schedule(now, _WAKE, unit_id)
 
     # ------------------------------------------------------------------ #
 
@@ -217,6 +354,8 @@ class HypersonicSimulation:
         total_cost = 0.0
         consumed = 0
         routed = False
+        if self.shedder is not None:
+            self.shedder.note_backlog(kernel.in_flight)
         for _ in range(self.knobs.batch_size):
             if not kernel.admit():
                 # Park only when this turn schedules no follow-up inject
@@ -231,7 +370,7 @@ class HypersonicSimulation:
                 break
             consumed += 1
             receipt = splitter.route(event, ready_at=time)
-            if not receipt.dropped:
+            if not receipt.dropped and not receipt.shed:
                 routed = True
                 self._events_routed += 1
                 self._inject_times[event.event_id] = time
@@ -300,16 +439,25 @@ class HypersonicSimulation:
         agent = engine.agents[selection.agent_index]
         items = [selection.item]
         batch = self.knobs.batch_size
+        batch_queue = None
         if (
             batch > 1
-            and selection.item.kind is ItemKind.EVENT
             and getattr(agent, "vector_mode", False)
             and not agent.guard_q.has_ready(time)
         ):
-            # Micro-batch: drain up to batch_size ready ES items in one
-            # agent turn so the batched scan amortizes the fragment locks.
+            # Micro-batch: drain up to batch_size ready same-kind items in
+            # one agent turn so the batched scan amortizes the fragment
+            # locks.  Plain agents batch their single ES; fused agents
+            # batch whichever of ES1/ES2 the popped item came from (the
+            # queues hold distinct kinds, so a single-queue drain is a
+            # single-kind batch by construction).
+            if selection.item.kind is ItemKind.EVENT:
+                batch_queue = agent.es
+            elif selection.item.kind is ItemKind.EVENT2:
+                batch_queue = getattr(agent, "es2", None)
+        if batch_queue is not None:
             while len(items) < batch:
-                follow = agent.es.pop(time)
+                follow = batch_queue.pop(time)
                 if follow is None:
                     break
                 items.append(follow)
@@ -325,6 +473,8 @@ class HypersonicSimulation:
                 time, cost, unit_id, selection.agent_index,
                 selection.role, selection.item.kind.value,
             )
+        if self._control is not None:
+            self._control.observe_busy(selection.agent_index, cost)
         unit.items_processed += len(items)
         self._items_processed += len(items)
         self._comparisons += receipt.comparisons + receipt.vector_comparisons
@@ -458,6 +608,9 @@ def simulate_hypersonic(
     tracer: Tracer | None = None,
     model_costs: CostParameters | None = None,
     batch_size: int = 1,
+    adapt: str = "off",
+    shed_bound: int = 0,
+    shed_policy: str | None = None,
 ) -> SimResult:
     """Convenience wrapper: build, simulate, return the result."""
     simulation = HypersonicSimulation(
@@ -473,5 +626,8 @@ def simulate_hypersonic(
         tracer=tracer,
         model_costs=model_costs,
         batch_size=batch_size,
+        adapt=adapt,
+        shed_bound=shed_bound,
+        shed_policy=shed_policy,
     )
     return simulation.run(events)

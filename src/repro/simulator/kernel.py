@@ -120,6 +120,11 @@ class SimKernel:
         self._heap: list[tuple[float, int, int, int]] = []
         self._seq = 0
         self._completions: list[tuple[float, int]] = []
+        #: Optional control-plane callback fired on the snapshot cadence
+        #: (``epoch_hook(now)``), *after* the frame tick — the strategy
+        #: simulator installs it when online adaptation is on.  ``None``
+        #: (the default) adds no work to the snapshot path.
+        self.epoch_hook = None
 
     # -- unit pool ------------------------------------------------------- #
 
@@ -203,11 +208,14 @@ class SimKernel:
 
     def snapshot_due(self, counter: int) -> bool:
         due = counter % self.snapshot_interval == 0
-        if due and self.tracer.enabled:
-            # Presentation pulse on the same cadence as the samples the
-            # simulator is about to take; recorders ignore it, the live
-            # dashboard repaints on it (repro.obs.dashboard).
-            self.tracer.frame_tick(self.now)
+        if due:
+            if self.tracer.enabled:
+                # Presentation pulse on the same cadence as the samples the
+                # simulator is about to take; recorders ignore it, the live
+                # dashboard repaints on it (repro.obs.dashboard).
+                self.tracer.frame_tick(self.now)
+            if self.epoch_hook is not None:
+                self.epoch_hook(self.now)
         return due
 
     def note_memory(self, total_bytes: int) -> None:

@@ -68,6 +68,9 @@ def simulate(
     tracer: Tracer | None = None,
     model_costs: CostParameters | None = None,
     batch_size: int = 1,
+    adapt: str = "off",
+    shed_bound: int = 0,
+    shed_policy: str | None = None,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
 
@@ -126,6 +129,17 @@ def simulate(
         )
     if batch_size < 1:
         raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
+    if adapt not in ("off", "on"):
+        raise SimulationError(f"adapt must be 'off' or 'on', got {adapt!r}")
+    if shed_bound < 0:
+        raise SimulationError(f"shed_bound must be >= 0, got {shed_bound}")
+    if (adapt == "on" or shed_bound > 0) and strategy not in (
+        "hypersonic", "state"
+    ):
+        raise SimulationError(
+            "online adaptation and load shedding require an agent-chain "
+            f"strategy (hypersonic/state), not {strategy!r}"
+        )
     source = as_source(events)
     if inflight_cap is None:
         # Scale channel capacity with the core count so every strategy can
@@ -142,7 +156,8 @@ def simulate(
             role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
             pace=pace, tracer=tracer, model_costs=model_costs,
-            batch_size=batch_size,
+            batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
+            shed_policy=shed_policy,
         )
     if measure_latency and not source.replayable:
         # The latency measurement re-runs the workload; a single-pass
@@ -156,7 +171,8 @@ def simulate(
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=None, tracer=tracer, model_costs=model_costs,
-        batch_size=batch_size,
+        batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
+        shed_policy=shed_policy,
     )
     if not measure_latency or capacity.throughput <= 0:
         return capacity
@@ -168,7 +184,8 @@ def simulate(
         role_dynamic=role_dynamic, agent_dynamic=agent_dynamic,
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=pace, tracer=None, model_costs=model_costs,
-        batch_size=batch_size,
+        batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
+        shed_policy=shed_policy,
     )
     capacity.avg_latency = paced.avg_latency
     capacity.p95_latency = paced.p95_latency
@@ -197,6 +214,9 @@ def _run_once(
     tracer: Tracer | None,
     model_costs: CostParameters | None = None,
     batch_size: int = 1,
+    adapt: str = "off",
+    shed_bound: int = 0,
+    shed_policy: str | None = None,
 ) -> SimResult:
     if strategy == "sequential":
         return simulate_partitioned(
@@ -241,6 +261,9 @@ def _run_once(
                 tracer=tracer,
                 model_costs=model_costs,
                 batch_size=batch_size,
+                adapt=adapt,
+                shed_bound=shed_bound,
+                shed_policy=shed_policy,
             )
         config = HypersonicConfig(
             role_dynamic=role_dynamic,
@@ -264,6 +287,9 @@ def _run_once(
             tracer=tracer,
             model_costs=model_costs,
             batch_size=batch_size,
+            adapt=adapt,
+            shed_bound=shed_bound,
+            shed_policy=shed_policy,
         )
     if strategy == "rip":
         engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)

@@ -92,6 +92,20 @@ def collect() -> dict:
             strategy, pattern, events, num_cores=NUM_CORES, **kwargs
         )
         goldens["closed_loop"][strategy] = result_payload(result)
+    # The control plane must be a strict no-op when disabled: an explicit
+    # ``adapt="off"`` run has to reproduce the closed-loop payload bit for
+    # bit.  Checked here (not stored) so the golden file stays unchanged.
+    for strategy in ("hypersonic", "state"):
+        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_CORES,
+            adapt="off", shed_bound=0, **kwargs
+        )
+        if result_payload(result) != goldens["closed_loop"][strategy]:
+            raise RuntimeError(
+                f"adapt='off' diverged from the closed-loop golden for "
+                f"{strategy!r}; the disabled control plane must be a no-op"
+            )
     for strategy in ("hypersonic", "rip"):
         result = simulate(
             strategy, pattern, events, num_cores=NUM_CORES, pace=3.0

@@ -28,6 +28,7 @@ class TestRunBench:
         assert snapshot["quick"] is True
         assert set(snapshot["scenarios"]) == {
             "fig7_throughput", "sensors_throughput", "batched_throughput",
+            "skewed_throughput", "shifted_throughput", "adaptation_recall",
             "fig8_latency",
         }
         fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
@@ -58,6 +59,38 @@ class TestRunBench:
         assert vectorized["matches"] == scalar["matches"] > 0
         assert vectorized["throughput"] > scalar["throughput"]
 
+    def test_variant_scenarios_not_degenerate(self, snapshot):
+        for name in ("skewed_throughput", "shifted_throughput"):
+            scenario = snapshot["scenarios"][name]
+            assert set(scenario["strategies"]) == {
+                "sequential", "hypersonic", "state", "rip", "llsf",
+            }
+            counts = set()
+            for cell in scenario["strategies"].values():
+                assert cell["throughput"] > 0
+                assert cell["matches"] > 0
+                counts.add(cell["matches"])
+            assert len(counts) == 1  # agreement across strategies
+
+    def test_adaptation_scenario_pins_recall_domination(self, snapshot):
+        adapt = snapshot["scenarios"]["adaptation_recall"]
+        assert adapt["pace"] > 0
+        assert adapt["shed_bound"] > 0
+        strategies = adapt["strategies"]
+        assert set(strategies) == {"reference", "static_shed", "adaptive"}
+        reference = strategies["reference"]
+        static = strategies["static_shed"]
+        adaptive = strategies["adaptive"]
+        assert reference["matches"] == adapt["reference_matches"] > 0
+        assert reference["recall"] == pytest.approx(1.0)
+        assert reference["shed_total"] == 0
+        # The overload genuinely sheds, and the control plane's
+        # pattern-aware shedding strictly dominates blind tail-drop at the
+        # same unit budget (run_bench raises otherwise; pinned here too).
+        assert static["shed_total"] > 0
+        assert adaptive["matches"] > static["matches"]
+        assert adaptive["recall"] > static["recall"]
+
     def test_sensors_scenario_not_degenerate(self, snapshot):
         sensors = snapshot["scenarios"]["sensors_throughput"]
         assert sensors["dataset"] == "sensors"
@@ -80,8 +113,9 @@ class TestRunBench:
         assert report["ok"] is True
         assert report["regressions"] == []
         assert report["improvements"] == []
-        # 5 fig7 + 5 sensors + 2 batched + 4 fig8 cells
-        assert report["compared"] == 16
+        # 5 fig7 + 5 sensors + 2 batched + 5 skewed + 5 shifted
+        # + 3 adaptation + 4 fig8 cells
+        assert report["compared"] == 29
         assert report["skipped"] == []
 
     def test_tuned_parameters_add_a_row_per_throughput_scenario(self):
@@ -173,8 +207,8 @@ class TestCompare:
         del partial["scenarios"]["fig8_latency"]
         del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
         report = compare_snapshots(partial, snapshot)
-        # 4 remaining fig7 + 5 sensors + 2 batched cells
-        assert report["compared"] == 11
+        # All cells minus the dropped fig8 scenario (4) and llsf cell (1).
+        assert report["compared"] == 24
         assert len(report["skipped"]) == 2
 
     def test_schema_1_baseline_compares_shared_scenarios(self, snapshot):
@@ -186,8 +220,8 @@ class TestCompare:
         validate_snapshot(old)  # still a valid snapshot
         report = compare_snapshots(old, snapshot)
         assert report["ok"] is True
-        # 5 fig7 + 2 batched + 4 fig8 cells (sensors skipped)
-        assert report["compared"] == 11
+        # All cells minus the 5 sensors ones (skipped: no baseline).
+        assert report["compared"] == 24
         assert any("schema 1" in note for note in report["skipped"])
         assert any("sensors_throughput" in note
                    for note in report["skipped"])

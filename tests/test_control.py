@@ -1,0 +1,384 @@
+"""Control-plane tests: drift estimation, shedding policy, determinism.
+
+Three layers, matching the import discipline of :mod:`repro.control`:
+
+* :class:`~repro.obs.drift.DriftEstimator` in isolation — the live
+  counterpart of the post-hoc calibration verdict;
+* :class:`~repro.control.shedding.LoadShedder` in isolation — the
+  pattern-aware admission controller, including its invariants (guard
+  types are never shed, the hard ceiling overrides hotness);
+* :class:`~repro.control.plane.ControlPlane` end to end through the
+  simulator — byte-identical decision sequences across repeated runs,
+  and the ``adapt="off"`` path bit-identical to the frozen sim goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.control import SHED_POLICIES, ControlPlane, LoadShedder, ReplanDecision
+from repro.control.decisions import DECISION_KINDS
+from repro.core import Pattern
+from repro.core.events import Event, EventType
+from repro.obs.drift import DriftEstimator
+from repro.core.errors import SimulationError
+from repro.simulator import simulate
+
+from tests.conftest import make_stream
+from tests.make_sim_goldens import (
+    GOLDEN_PATH,
+    NUM_CORES,
+    golden_pattern,
+    golden_workload,
+    result_payload,
+)
+
+
+def _event(name: str, ts: float = 0.0) -> Event:
+    return Event(type=EventType(name), timestamp=ts)
+
+
+class TestDriftEstimator:
+    def test_fresh_estimator_reports_no_drift(self):
+        est = DriftEstimator()
+        assert est.moves() == 0
+        assert not est.drifted()
+        assert est.optimal_allocation() == []
+
+    def test_note_plan_resets_busy_accumulators(self):
+        est = DriftEstimator()
+        est.note_plan([2, 2], [1.0, 1.0])
+        est.note_busy(0, 5.0)
+        est.note_busy(1, 1.0)
+        assert est.items == 2
+        est.note_plan([3, 1], [3.0, 1.0])
+        assert est.items == 0
+        assert est.busy == [0.0, 0.0]
+        assert est.per_agent == [3, 1]
+
+    def test_out_of_range_busy_is_ignored(self):
+        est = DriftEstimator()
+        est.note_plan([2, 2], [1.0, 1.0])
+        est.note_busy(7, 5.0)
+        assert est.items == 0
+
+    def test_balanced_load_is_calibrated(self):
+        est = DriftEstimator()
+        est.note_plan([2, 2], [1.0, 1.0])
+        for _ in range(10):
+            est.note_busy(0, 1.0)
+            est.note_busy(1, 1.0)
+        assert est.optimal_allocation() == [2, 2]
+        assert est.moves() == 0
+        assert not est.drifted()
+
+    def test_skewed_load_drifts(self):
+        est = DriftEstimator()
+        est.note_plan([4, 4], [1.0, 1.0])
+        for _ in range(10):
+            est.note_busy(0, 9.0)
+            est.note_busy(1, 1.0)
+        optimal = est.optimal_allocation()
+        assert optimal[0] > optimal[1]
+        assert est.moves() > 0
+        assert est.drifted()
+
+    def test_fusion_plan_without_loads_uses_counts(self):
+        est = DriftEstimator()
+        est.note_plan([3, 1], [])
+        assert est.predicted_shares() == pytest.approx([0.75, 0.25])
+
+
+class _StubAgent:
+    """Minimal consumer shape for the shedder's hot/cold probe."""
+
+    class _Buffer:
+        def __init__(self, items: int) -> None:
+            self._items = items
+
+        def total_items(self) -> int:
+            return self._items
+
+    def __init__(self, buffered: int = 0, queued: int = 0) -> None:
+        self.match_buffer = self._Buffer(buffered)
+        self.ms = [object()] * queued
+
+
+class TestLoadShedder:
+    def test_invalid_policy_and_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LoadShedder(bound=4, policy="random")
+        with pytest.raises(ValueError):
+            LoadShedder(bound=-1)
+        assert set(SHED_POLICIES) == {"tail", "pattern"}
+
+    def test_disabled_shedder_admits_everything(self):
+        shedder = LoadShedder(bound=0, policy="tail")
+        shedder.note_backlog(10_000)
+        assert not shedder.overloaded
+        assert not shedder.should_shed(_event("A"))
+        assert shedder.shed_total == 0
+
+    def test_under_bound_admits_everything(self):
+        shedder = LoadShedder(bound=8, policy="tail")
+        shedder.note_backlog(8)
+        assert not shedder.should_shed(_event("A"))
+
+    def test_tail_policy_sheds_blindly_when_overloaded(self):
+        shedder = LoadShedder(bound=4, policy="tail")
+        shedder.note_backlog(5)
+        assert shedder.should_shed(_event("A"))
+        assert shedder.should_shed(_event("B"))
+        assert shedder.counts()["total"] == 2
+
+    def test_guard_types_never_shed(self):
+        for policy in SHED_POLICIES:
+            shedder = LoadShedder(
+                bound=1, policy=policy, guard_types=frozenset({"N"})
+            )
+            shedder.note_backlog(1_000_000)  # far past the hard ceiling
+            assert shedder.critical
+            assert not shedder.should_shed(_event("N"))
+            assert shedder.shed_total == 0
+
+    def test_pattern_policy_sheds_seeds_first(self):
+        shedder = LoadShedder(
+            bound=4, policy="pattern", seed_types=frozenset({"A"}),
+            consumers={"B": _StubAgent(buffered=3)},
+        )
+        shedder.note_backlog(5)
+        assert shedder.should_shed(_event("A"))  # seed: opens new work
+        assert not shedder.should_shed(_event("B"))  # hot consumer
+
+    def test_pattern_policy_sheds_cold_consumers(self):
+        shedder = LoadShedder(
+            bound=4, policy="pattern",
+            consumers={"B": _StubAgent(buffered=0, queued=0)},
+        )
+        shedder.note_backlog(5)
+        assert shedder.should_shed(_event("B"))
+
+    def test_queued_ms_work_counts_as_hot(self):
+        shedder = LoadShedder(
+            bound=4, policy="pattern",
+            consumers={"B": _StubAgent(buffered=0, queued=2)},
+        )
+        shedder.note_backlog(5)
+        assert not shedder.should_shed(_event("B"))
+
+    def test_fused_consumer_hot_via_mb1_mb2(self):
+        class FusedStub:
+            def __init__(self, items1: int, items2: int) -> None:
+                self.mb1 = _StubAgent._Buffer(items1)
+                self.mb2 = _StubAgent._Buffer(items2)
+                self.ms = []
+
+        shedder = LoadShedder(
+            bound=4, policy="pattern",
+            consumers={"B": FusedStub(0, 2), "C": FusedStub(0, 0)},
+        )
+        shedder.note_backlog(5)
+        assert not shedder.should_shed(_event("B"))
+        assert shedder.should_shed(_event("C"))
+
+    def test_critical_ceiling_sheds_even_hot_events(self):
+        shedder = LoadShedder(
+            bound=4, policy="pattern",
+            consumers={"B": _StubAgent(buffered=3)},
+        )
+        shedder.note_backlog(9)  # > 2 * bound
+        assert shedder.critical
+        assert shedder.should_shed(_event("B"))
+
+    def test_counts_report(self):
+        shedder = LoadShedder(bound=2, policy="tail")
+        shedder.note_backlog(3)
+        shedder.should_shed(_event("B"))
+        shedder.should_shed(_event("A"))
+        shedder.should_shed(_event("A"))
+        assert shedder.counts() == {
+            "total": 3,
+            "by_type": {"A": 2, "B": 1},
+            "policy": "tail",
+            "bound": 2,
+        }
+
+
+class TestControlPlaneUnit:
+    def _fed_plane(self, **kwargs) -> ControlPlane:
+        plane = ControlPlane(window=5.0, min_items=4, **kwargs)
+        plane.note_plan([4, 4], [1.0, 1.0])
+        return plane
+
+    def test_no_decisions_without_observations(self):
+        plane = self._fed_plane()
+        assert plane.epoch(10.0) == []
+        assert plane.epochs == 1
+
+    def test_drift_triggers_reallocate(self):
+        plane = self._fed_plane()
+        for _ in range(10):
+            plane.observe_busy(0, 9.0)
+            plane.observe_busy(1, 1.0)
+        decisions = plane.epoch(10.0)
+        assert len(decisions) == 1
+        decision = decisions[0]
+        assert decision.kind in ("reallocate", "migrate")
+        assert decision.kind in DECISION_KINDS
+        assert sum(decision.per_agent) == 8
+        assert decision.per_agent[0] > decision.per_agent[1]
+        # The estimator was reset: the same epoch later has no fresh signal.
+        assert plane.estimator.items == 0
+
+    def test_acting_epochs_are_rate_limited(self):
+        plane = self._fed_plane()
+        for _ in range(10):
+            plane.observe_busy(0, 9.0)
+            plane.observe_busy(1, 1.0)
+        assert plane.epoch(10.0)
+        for _ in range(10):
+            plane.observe_busy(0, 9.0)
+            plane.observe_busy(1, 1.0)
+        # Within one window of the last action: suppressed.
+        assert plane.epoch(12.0) == []
+        assert plane.epoch(20.0)  # past the gap: acts again
+
+    def test_shed_decision_is_edge_triggered(self):
+        shedder = LoadShedder(bound=2, policy="tail")
+        plane = self._fed_plane(shedder=shedder)
+        shedder.note_backlog(100)
+        first = plane.epoch(10.0)
+        assert [d.kind for d in first] == ["shed"]
+        # Still critical: no second edge.
+        assert all(d.kind != "shed" for d in plane.epoch(11.0))
+        shedder.note_backlog(0)
+        plane.epoch(12.0)
+        shedder.note_backlog(100)
+        assert any(d.kind == "shed" for d in plane.epoch(13.0))
+
+    def test_decision_as_dict_round_trips_json(self):
+        decision = ReplanDecision(
+            kind="migrate", epoch=3, ts=1.5, per_agent=(2, 1, 1),
+            agent=0, partner=2, reason="drift moves 1 > allowed 1",
+        )
+        payload = json.loads(json.dumps(decision.as_dict()))
+        assert payload["kind"] == "migrate"
+        assert payload["per_agent"] == [2, 1, 1]
+        assert payload["agent"] == 0
+        assert payload["partner"] == 2
+
+
+def _bursty_workload():
+    from repro.datasets import BurstyConfig, generate_bursty_stream
+
+    config = BurstyConfig(
+        symbols=("S0", "S1", "S2", "S3"),
+        base_rate=40.0,
+        num_phases=4,
+        events_per_phase=120,
+        seed=7,
+    )
+    return list(generate_bursty_stream(config))
+
+
+_ADAPT_PACE_CACHE: dict[str, float] = {}
+
+
+def _adaptive_run(strategy: str = "hypersonic"):
+    # The pattern spans the bursty stream's symbol types, so the rotating
+    # hot subset translates directly into per-agent load swings.  Pace is
+    # derived from an unshedded reference run (as the bench does): fast
+    # enough to overload, slow enough that work still flows.
+    pattern = Pattern.sequence(["S0", "S1", "S2"], window=0.5)
+    events = _bursty_workload()
+    if strategy not in _ADAPT_PACE_CACHE:
+        reference = simulate(strategy, pattern, events, num_cores=4)
+        _ADAPT_PACE_CACHE[strategy] = 1.0 / max(
+            1.5 * reference.throughput, 1e-12
+        )
+    return simulate(
+        strategy, pattern, events, num_cores=4,
+        adapt="on", shed_bound=8, shed_policy="pattern",
+        pace=_ADAPT_PACE_CACHE[strategy],
+    )
+
+
+class TestControllerDeterminism:
+    def test_decision_sequence_is_byte_identical(self):
+        first = _adaptive_run()
+        second = _adaptive_run()
+        serial = [
+            json.dumps(
+                run.extra["control"]["decisions"], sort_keys=True
+            ).encode()
+            for run in (first, second)
+        ]
+        assert serial[0] == serial[1]
+        assert first.extra["control"]["epochs"] == (
+            second.extra["control"]["epochs"]
+        )
+        assert first.extra["shed"] == second.extra["shed"]
+        assert first.matches == second.matches
+
+    def test_adaptive_run_reports_control_extras(self):
+        result = _adaptive_run()
+        control = result.extra["control"]
+        assert control["epochs"] > 0
+        for decision in control["decisions"]:
+            assert decision["kind"] in DECISION_KINDS
+        shed = result.extra["shed"]
+        assert shed["bound"] == 8
+        assert shed["policy"] == "pattern"
+
+    def test_adapt_without_shedding_preserves_matches(self):
+        """Re-allocation/fusion alone must never change the match set."""
+        pattern = Pattern.sequence(["A", "B", "C"], window=6.0)
+        events = make_stream(num_events=400, seed=11)
+        plain = simulate("hypersonic", pattern, events, num_cores=4)
+        adapted = simulate(
+            "hypersonic", pattern, events, num_cores=4, adapt="on"
+        )
+        assert adapted.matches == plain.matches
+        assert "shed" not in adapted.extra or (
+            adapted.extra["shed"]["total"] == 0
+        )
+
+
+class TestAdaptOffGoldenParity:
+    """``adapt="off"`` must be bit-identical to the frozen goldens."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        return json.loads(Path(GOLDEN_PATH).read_text(encoding="utf-8"))
+
+    @pytest.mark.parametrize("strategy", ["hypersonic", "state"])
+    def test_adapt_off_matches_golden(self, goldens, strategy):
+        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        result = simulate(
+            strategy, golden_pattern(), golden_workload(),
+            num_cores=NUM_CORES, adapt="off", shed_bound=0, **kwargs
+        )
+        assert result_payload(result) == goldens["closed_loop"][strategy]
+
+
+class TestRunnerValidation:
+    def test_invalid_adapt_value_rejected(self):
+        pattern = Pattern.sequence(["A", "B"], window=4.0)
+        with pytest.raises(SimulationError):
+            simulate("hypersonic", pattern, [], num_cores=2, adapt="maybe")
+
+    def test_negative_shed_bound_rejected(self):
+        pattern = Pattern.sequence(["A", "B"], window=4.0)
+        with pytest.raises(SimulationError):
+            simulate("hypersonic", pattern, [], num_cores=2, shed_bound=-1)
+
+    @pytest.mark.parametrize("strategy", ["sequential", "rip", "llsf"])
+    def test_adaptation_requires_agent_chain(self, strategy):
+        pattern = Pattern.sequence(["A", "B"], window=4.0)
+        with pytest.raises(SimulationError):
+            simulate(strategy, pattern, [], num_cores=2, adapt="on")
+        with pytest.raises(SimulationError):
+            simulate(strategy, pattern, [], num_cores=2, shed_bound=4)

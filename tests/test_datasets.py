@@ -232,3 +232,108 @@ class TestLoader:
 
         with pytest.raises(StreamError):
             load_stream(path)
+
+
+class TestConcatStreams:
+    def test_segments_restamped_in_order(self):
+        from repro.core.streams import concat_streams
+
+        first = generate_stock_stream(StockConfig(num_events=50, seed=1))
+        second = generate_stock_stream(StockConfig(num_events=50, seed=2))
+        stitched = concat_streams(first, second, gap=1.5)
+        assert len(stitched) == 100
+        validate_stream_order(stitched)
+        # The second segment starts exactly `gap` after the first ends,
+        # preserving its segment-local spacing as offsets.
+        boundary = stitched[50].timestamp
+        assert boundary == pytest.approx(
+            first[-1].timestamp + 1.5 + second[0].timestamp
+        )
+
+    def test_event_ids_stay_globally_fresh(self):
+        from repro.core.streams import concat_streams
+
+        segment = generate_stock_stream(StockConfig(num_events=30, seed=3))
+        stitched = concat_streams(segment, segment)
+        ids = [event.event_id for event in stitched]
+        assert len(set(ids)) == len(ids)
+
+    def test_empty_segments_skipped(self):
+        from repro.core.streams import concat_streams
+
+        segment = generate_stock_stream(StockConfig(num_events=10, seed=4))
+        assert len(concat_streams([], segment, [])) == 10
+        assert concat_streams([], []) == []
+
+
+class TestBurstyStream:
+    def _config(self, **overrides):
+        from repro.datasets import BurstyConfig
+
+        defaults = dict(
+            symbols=tuple(f"S{i}" for i in range(4)),
+            base_rate=10.0,
+            num_phases=4,
+            events_per_phase=200,
+            seed=9,
+        )
+        defaults.update(overrides)
+        return BurstyConfig(**defaults)
+
+    def test_stream_is_ordered_and_sized(self):
+        from repro.datasets import generate_bursty_stream
+
+        events = generate_bursty_stream(self._config())
+        assert len(events) == 4 * 200
+        validate_stream_order(events)
+        # Full stock schema survives the phase stitching.
+        assert all("symbol" in event.attributes for event in events)
+
+    def test_determinism(self):
+        from repro.datasets import generate_bursty_stream
+
+        first = generate_bursty_stream(self._config())
+        second = generate_bursty_stream(self._config())
+        assert [(e.type.name, e.timestamp) for e in first] == [
+            (e.type.name, e.timestamp) for e in second
+        ]
+
+    def test_burst_phases_skew_type_mix(self):
+        from repro.datasets import generate_bursty_stream
+
+        config = self._config()
+        events = generate_bursty_stream(config)
+        per_phase = 200
+
+        def counts(phase):
+            chunk = events[phase * per_phase:(phase + 1) * per_phase]
+            out = {}
+            for event in chunk:
+                out[event.type.name] = out.get(event.type.name, 0) + 1
+            return out
+
+        calm = counts(0)
+        burst = counts(1)
+        # Calm phase: roughly uniform; burst phase: the hot subset
+        # dominates (burst_factor 4 vs cold_factor 0.25 is a 16x ratio).
+        assert max(calm.values()) < 2 * min(calm.values())
+        assert max(burst.values()) > 3 * min(burst.values())
+
+    def test_hot_subset_rotates_between_bursts(self):
+        from repro.datasets.bursty import _phase_rates
+
+        config = self._config(num_phases=6)
+        first_burst = _phase_rates(config, 1)
+        second_burst = _phase_rates(config, 3)
+        assert first_burst != second_burst
+        hot_first = {i for i, r in enumerate(first_burst) if r > config.base_rate}
+        hot_second = {i for i, r in enumerate(second_burst) if r > config.base_rate}
+        assert hot_first.isdisjoint(hot_second)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            self._config(num_phases=0)
+        with pytest.raises(ValueError):
+            self._config(events_per_phase=0)
+        with pytest.raises(ValueError):
+            self._config(hot_symbols=99)

@@ -23,6 +23,7 @@ from repro.baselines import (
 )
 from repro.core import Pattern
 from repro.costmodel import CostParameters, fit_from_trace
+from repro.hypersonic.engine import HypersonicConfig
 from repro.obs import TraceRecorder
 from repro.simulator import STRATEGIES, simulate
 from repro.simulator.hypersonic_sim import HypersonicSimulation
@@ -145,6 +146,36 @@ def test_all_strategies_accept_batch_size(pattern, seed):
             batch_size=64, **kwargs,
         )
         assert result.matches == expected, strategy
+
+
+@pytest.mark.parametrize("pattern,seed", [
+    (Pattern.sequence(["A", "B", "C"], window=6.0), 0),
+    (Pattern.sequence(["A", "B", "C", "D"], window=6.0), 5),
+])
+@pytest.mark.parametrize("batch_size", [1, 2, 16])
+def test_fused_batched_matches_scalar_oracle(pattern, seed, batch_size):
+    """Fused agents (MB1/EB1 + MB2/EB2 cores) under batched execution:
+    the columnar kernels over both stage groups must reproduce exactly
+    the scalar match-key set, including the batch_size=1 degenerate."""
+    events = workload(seed)
+    expected = reference_keys(pattern, events)
+    config = HypersonicConfig(fusion=True, force_fusion_pairs=((1, 2),))
+    sim = HypersonicSimulation(
+        pattern, NUM_UNITS, config=config, batch_size=batch_size
+    )
+    sim.run(events)
+    assert {match.key for match in sim.matches} == expected
+
+
+@pytest.mark.parametrize("pattern,seed", WORKLOADS)
+def test_adaptive_closed_loop_preserves_match_set(pattern, seed):
+    """``adapt="on"`` without shedding re-allocates and links agents but
+    must never change *what* is detected — same keys as the oracle."""
+    events = workload(seed)
+    expected = reference_keys(pattern, events)
+    sim = HypersonicSimulation(pattern, NUM_UNITS, adapt="on")
+    sim.run(events)
+    assert {match.key for match in sim.matches} == expected
 
 
 def test_batched_results_backend_independent(monkeypatch):
