@@ -61,13 +61,15 @@ __all__ = [
 #: scenario (scalar hypersonic vs the batch_size=64 vectorized mode).
 #: Schema 4 added the skewed/shifted stock variants and the
 #: adaptation_recall scenario (static tail-shedding vs the runtime
-#: control plane's pattern shedding under paced overload).
-SNAPSHOT_SCHEMA = 4
+#: control plane's pattern shedding under paced overload).  Schema 5
+#: added the recall_latency_frontier scenario (the adaptive runtime's
+#: recall-vs-p95-latency trade-off swept over the shed bound).
+SNAPSHOT_SCHEMA = 5
 
 #: Snapshot versions the validator and comparator accept.  Old snapshots
 #: stay loadable so the trajectory spans the bumps; scenarios a baseline
 #: lacks are skipped, not failed.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 #: Relative throughput drop that fails the comparison.
 DEFAULT_THRESHOLD = 0.15
@@ -92,6 +94,12 @@ _BATCH_SIZE = 64
 _ADAPT_LOAD = 1.6
 _ADAPT_PHASES = 4
 _ADAPT_BOUND_PER_CORE = 2
+
+#: recall_latency_frontier (schema 5): shed bounds swept, in units of the
+#: core count.  Tighter bounds shed more (lower recall, lower latency);
+#: looser bounds admit more backlog (higher recall, higher latency) —
+#: recall along the sweep must be non-decreasing or the shedder is broken.
+_FRONTIER_BOUNDS_PER_CORE = (1, 2, 4, 8)
 
 
 def _strategy_record(result: SimResult) -> dict:
@@ -287,6 +295,38 @@ def run_bench(
             f"(reference {adapt_reference.matches})"
         )
 
+    # Recall/latency frontier (schema 5): the same overloaded adaptive
+    # deployment swept over the shed bound.  Each point trades recall
+    # (more shedding, fewer matches) against p95 detection latency (less
+    # backlog ahead of each match); the committed frontier pins where the
+    # runtime sits on that trade-off.  Recall must not decrease as the
+    # bound loosens — if it does, the shedder is dropping the wrong events.
+    frontier_results: dict[str, SimResult] = {}
+    frontier_bounds: list[int] = []
+    for per_core in _FRONTIER_BOUNDS_PER_CORE:
+        bound = per_core * cores
+        frontier_bounds.append(bound)
+        frontier_results[f"bound_{bound}"] = simulate(
+            "hypersonic", bursty_spec.pattern, bursty_events,
+            num_cores=cores, cache=default_cache(), costs=default_costs(),
+            agent_dynamic=True, seed=seed, pace=adapt_pace,
+            adapt="on", shed_bound=bound, shed_policy="pattern",
+            tracer=tracer_factory(f"frontier_bound_{bound}"),
+        )
+    frontier_recalls = [
+        frontier_results[f"bound_{bound}"].matches for bound in frontier_bounds
+    ]
+    for tighter, looser, tight_matches, loose_matches in zip(
+        frontier_bounds, frontier_bounds[1:],
+        frontier_recalls, frontier_recalls[1:],
+    ):
+        if loose_matches < tight_matches:
+            raise RuntimeError(
+                "recall/latency frontier is not monotone: bound "
+                f"{looser} matched {loose_matches} < bound {tighter}'s "
+                f"{tight_matches} — loosening the shed bound lost matches"
+            )
+
     # fig8-style paced latency: everyone receives the same offered load,
     # derived from HYPERSONIC's capacity measured above (no extra run).
     reference = throughput_results["hypersonic"].throughput
@@ -375,6 +415,27 @@ def run_bench(
                 for name, result in adapt_results.items()
             },
         },
+        "recall_latency_frontier": {
+            "events": len(bursty_events),
+            "cores": cores,
+            "window": scale.base_window,
+            "length": length,
+            "pace": adapt_pace,
+            "load": _ADAPT_LOAD,
+            "phases": _ADAPT_PHASES,
+            "bounds": frontier_bounds,
+            "reference_matches": adapt_reference.matches,
+            "strategies": {
+                f"bound_{bound}": dict(
+                    _adaptation_record(
+                        frontier_results[f"bound_{bound}"],
+                        adapt_reference.matches,
+                    ),
+                    shed_bound=bound,
+                )
+                for bound in frontier_bounds
+            },
+        },
         "fig8_latency": {
             "events": scale.num_events,
             "cores": cores,
@@ -392,7 +453,15 @@ def run_bench(
     if registry is not None:
         for name, result in throughput_results.items():
             populate_from_summary(
-                registry, result.extra.get("obs", {}), strategy=name
+                registry, result.extra.get("obs", {}), strategy=name,
+                extra=result.extra,
+            )
+        # The adaptive runs carry the control/shed sections the plain
+        # throughput rows lack; export them under prefixed labels.
+        for name, result in adapt_results.items():
+            populate_from_summary(
+                registry, result.extra.get("obs", {}),
+                strategy=f"adapt_{name}", extra=result.extra,
             )
 
     snapshot = {

@@ -153,6 +153,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sim.add_argument(
+        "--slo-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "p95 match-latency SLO ceiling (model seconds); evaluated "
+            "online per window and, with --adapt on, fed to the control "
+            "plane as a replan/shed trigger"
+        ),
+    )
+    sim.add_argument(
+        "--slo-recall",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "recall SLO floor in (0, 1]: fraction of pattern-relevant "
+            "arrivals admitted (not shed) per window"
+        ),
+    )
+    sim.add_argument(
+        "--slo-throughput",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="throughput SLO floor (admitted events per model second)",
+    )
+    sim.add_argument(
+        "--slo-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "SLO evaluation window length (default: the query window)"
+        ),
+    )
+    sim.add_argument(
+        "--slo-objective",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fraction of windows that must meet each SLO before its "
+            "error budget exhausts (default 0.99)"
+        ),
+    )
+    sim.add_argument(
         "--pace",
         type=float,
         default=None,
@@ -212,6 +259,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the full report as JSON instead of text")
     obs.add_argument("--tolerance", type=float, default=None,
                      help="allocation tolerance for the calibration verdict")
+    obs.add_argument(
+        "--audit", action="store_true",
+        help=(
+            "include decision provenance: the causal chain behind every "
+            "control-plane decision in the trace (trigger evidence, "
+            "decision, before/after effect); byte-deterministic"
+        ),
+    )
+    obs.add_argument("--slo-p95", type=float, default=None,
+                     metavar="SECONDS",
+                     help="re-evaluate a p95 match-latency SLO ceiling "
+                          "from the trace")
+    obs.add_argument("--slo-recall", type=float, default=None,
+                     metavar="FRACTION",
+                     help="re-evaluate a recall SLO floor from the trace")
+    obs.add_argument("--slo-throughput", type=float, default=None,
+                     metavar="RATE",
+                     help="re-evaluate a throughput SLO floor from the "
+                          "trace")
+    obs.add_argument("--slo-window", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="SLO evaluation window length (1.0)")
+    obs.add_argument("--slo-objective", type=float, default=None,
+                     metavar="FRACTION",
+                     help="per-SLO window objective (0.99)")
 
     watch = commands.add_parser(
         "watch",
@@ -438,6 +510,34 @@ def _write_metrics(path: str, registry) -> None:
         handle.write(payload)
 
 
+def _build_slo_specs(args, default_window: float):
+    """Translate ``--slo-*`` flags into :class:`SloSpec`s (maybe empty)."""
+    bounds = (
+        ("p95_latency", args.slo_p95),
+        ("recall", args.slo_recall),
+        ("throughput", args.slo_throughput),
+    )
+    if all(bound is None for _metric, bound in bounds):
+        return ()
+    from repro.obs import DEFAULT_OBJECTIVE, SloSpec
+
+    window = (
+        args.slo_window if args.slo_window and args.slo_window > 0
+        else default_window
+    )
+    objective = (
+        args.slo_objective if args.slo_objective is not None
+        else DEFAULT_OBJECTIVE
+    )
+    try:
+        return tuple(
+            SloSpec(metric, bound, window=window, objective=objective)
+            for metric, bound in bounds if bound is not None
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad SLO spec: {exc}") from None
+
+
 def _command_simulate(args) -> int:
     for flag, path in (("--trace", args.trace),
                        ("--trace-jsonl", args.trace_jsonl),
@@ -451,15 +551,16 @@ def _command_simulate(args) -> int:
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
     strategies = [name.strip() for name in args.strategies.split(",")]
     adapting = args.adapt == "on" or args.shed_bound > 0
-    if adapting:
+    slo_specs = _build_slo_specs(args, args.window)
+    if adapting or slo_specs:
         unsupported = [
             name for name in strategies
             if name not in ("hypersonic", "state")
         ]
         if unsupported:
             raise SystemExit(
-                "--adapt/--shed-bound need an agent-chain strategy "
-                "(hypersonic, state); drop "
+                "--adapt/--shed-bound/--slo-* need an agent-chain "
+                "strategy (hypersonic, state); drop "
                 f"{', '.join(unsupported)} from --strategies"
             )
     registry = None
@@ -477,6 +578,8 @@ def _command_simulate(args) -> int:
             kwargs["shed_bound"] = args.shed_bound
             if args.shed_policy is not None:
                 kwargs["shed_policy"] = args.shed_policy
+        if slo_specs:
+            kwargs["slos"] = slo_specs
         if tracing:
             from repro.obs import TraceRecorder
 
@@ -522,6 +625,20 @@ def _command_simulate(args) -> int:
                     f"{len(control['decisions'])} decisions)"
                 )
             print(line)
+        slo = results[strategy].extra.get("slo")
+        if slo is not None:
+            parts = []
+            for row in slo["specs"]:
+                budget = row["budget"]
+                parts.append(
+                    f"{row['spec']['metric']} {row['status']} "
+                    f"(burn {budget['burn_rate']:.2f}, "
+                    f"{row['windows_violated']}/{row['windows_evaluated']} "
+                    "windows)"
+                )
+            print(
+                f"{strategy}: slo {slo['verdict']} — " + ", ".join(parts)
+            )
         if args.dashboard:
             print(f"-- dashboard ({strategy}) --")
             print(kwargs["tracer"].final_frame())
@@ -546,6 +663,7 @@ def _command_simulate(args) -> int:
                 registry,
                 results[strategy].extra.get("obs", {}),
                 strategy=strategy,
+                extra=results[strategy].extra,
             )
     if registry is not None:
         _write_metrics(args.metrics_out, registry)
@@ -595,6 +713,24 @@ def _format_obs_report(calibration, breakdown) -> str:
             f"agent={calibration['imbalance']['agent']:.3f}"
             f"   moves {alloc['moves']}/{alloc['allowed_moves']} allowed"
         )
+        adaptation = calibration.get("adaptation")
+        if adaptation:
+            kinds = ", ".join(
+                f"{count} {kind}" for kind, count in sorted(
+                    adaptation["by_kind"].items()
+                )
+            ) or "none"
+            scope = (
+                "post-plan observations only" if adaptation["post_plan_only"]
+                else "whole-run observations"
+            )
+            lines.append(
+                f"  adaptation: {adaptation['replans']} control decisions "
+                f"({kinds}), {adaptation['shed_events']} events shed — "
+                f"drift acted on mid-run; calibrated against {scope}"
+            )
+            if adaptation.get("note"):
+                lines.append(f"  note: {adaptation['note']}")
     else:
         lines.append(
             "cost-model calibration: n/a (trace has no allocation plan)"
@@ -630,6 +766,81 @@ def _format_obs_report(calibration, breakdown) -> str:
     return "\n".join(lines)
 
 
+def _format_audit_report(audit) -> str:
+    if audit is None:
+        return "decision provenance: n/a (trace has no control decisions)"
+    summary = audit["summary"]
+    kinds = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(
+            summary["by_kind"].items()
+        )
+    )
+    lines = [
+        f"decision provenance — {summary['count']} decisions ({kinds}) "
+        f"over t=[{summary['first_ts']:.2f}, {summary['last_ts']:.2f}]"
+    ]
+    for decision in audit["decisions"]:
+        trigger = decision["trigger"]
+        units = "/".join(str(c) for c in decision["per_agent"]) or "-"
+        lines.append(
+            f"  t={decision['ts']:8.2f} [{decision['kind']}] units "
+            f"{units} — {decision['reason']}"
+        )
+        observed = trigger.get("observed_shares")
+        predicted = trigger.get("predicted_shares")
+        if observed and predicted:
+            lines.append(
+                "    trigger: "
+                f"{trigger['observations']} obs since plan "
+                f"t={trigger['since_plan_ts']:.2f}; shares obs "
+                + "/".join(f"{s:.2f}" for s in observed)
+                + " vs pred "
+                + "/".join(f"{s:.2f}" for s in predicted)
+                + f"; moves {trigger['moves']}"
+                f"/{trigger['allowed_moves']} allowed"
+            )
+        effect = decision.get("effect")
+        if effect:
+            before, after = effect["before"], effect["after"]
+            if before["busy_shares"] and after["busy_shares"]:
+                lines.append(
+                    "    effect: busy shares "
+                    + "/".join(f"{s:.2f}" for s in before["busy_shares"])
+                    + " -> "
+                    + "/".join(f"{s:.2f}" for s in after["busy_shares"])
+                )
+            moves = effect.get("moves_to_optimal")
+            if moves and "before" in moves and "after" in moves:
+                verdict = (
+                    "aligned" if effect.get("aligned") else "not aligned"
+                )
+                lines.append(
+                    f"    moves-to-optimal {moves['before']} -> "
+                    f"{moves['after']} ({verdict})"
+                )
+    return "\n".join(lines)
+
+
+def _format_slo_report(slo) -> str:
+    lines = [f"slo report — {slo['verdict']}"]
+    header = (
+        f"  {'metric':<12s} {'bound':>9s} {'windows':>8s} {'viol':>6s} "
+        f"{'burn':>7s} {'fast':>7s} {'status':<10s}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in slo["specs"]:
+        spec = row["spec"]
+        budget = row["budget"]
+        lines.append(
+            f"  {spec['metric']:<12s} {spec['bound']:>9.4f} "
+            f"{row['windows_evaluated']:>8d} {row['windows_violated']:>6d} "
+            f"{budget['burn_rate']:>7.2f} {budget['fast_burn']:>7.2f} "
+            f"{row['status']:<10s}"
+        )
+    return "\n".join(lines)
+
+
 def _read_trace(path: str):
     """`read_jsonl` with CLI-grade errors: truncated tails already come
     back as a warning + partial trace; real corruption exits cleanly."""
@@ -652,14 +863,33 @@ def _command_obs_report(args) -> int:
         kwargs["tolerance"] = args.tolerance
     calibration = calibration_report(events, **kwargs)
     breakdown = latency_breakdown(events)
+    audit = None
+    if args.audit:
+        from repro.obs import audit_report
+
+        audit = audit_report(events, **kwargs)
+    slo = None
+    slo_specs = _build_slo_specs(args, args.slo_window)
+    if slo_specs:
+        from repro.obs import slo_report
+
+        slo = slo_report(events, slo_specs)
     if args.json:
-        print(_json.dumps(
-            {"calibration": calibration, "latency_breakdown": breakdown},
-            indent=1, sort_keys=True,
-        ))
+        report = {"calibration": calibration, "latency_breakdown": breakdown}
+        if args.audit:
+            report["audit"] = audit
+        if slo_specs:
+            report["slo"] = slo
+        print(_json.dumps(report, indent=1, sort_keys=True))
         return 0
     print(f"trace: {args.trace} ({len(events)} events)")
     print(_format_obs_report(calibration, breakdown))
+    if args.audit:
+        print()
+        print(_format_audit_report(audit))
+    if slo is not None:
+        print()
+        print(_format_slo_report(slo))
     return 0
 
 
@@ -725,7 +955,7 @@ def _command_watch(args) -> int:
 #: Bench run-label prefixes that name a scenario; anything unprefixed is
 #: a fig7 throughput run (labels are assigned by ``run_bench``).
 _BENCH_TILE_GROUPS = (
-    "sensors", "batched", "skewed", "shifted", "adapt", "paced"
+    "sensors", "batched", "skewed", "shifted", "adapt", "frontier", "paced"
 )
 
 

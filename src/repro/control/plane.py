@@ -22,6 +22,17 @@ the simulator's snapshot cadence ("epochs") emits deterministic
   :class:`~repro.control.shedding.LoadShedder` crossed its hard ceiling
   (admission control itself runs per event in the splitter).
 
+When an :class:`~repro.obs.slo.SloEngine` is attached, its per-epoch
+verdicts become a second trigger: a breached (or budget-exhausted)
+latency / throughput SLO forces a re-balance even when drift is within
+tolerance (any misplaced unit is worth moving once an objective is
+failing) and engages the shedder's *pressure* valve, halving its
+effective overload bound so admission control sheds earlier; a recall
+breach releases the valve (shedding harder would make it worse).  Both
+valve edges are recorded as ``shed`` decisions naming the SLO.  With no
+engine attached (``slo=None``) the epoch path is unchanged — unspecified
+SLOs stay a strict no-op, pinned by the golden suite.
+
 Determinism: decisions are pure functions of the observation stream and
 the epoch clock — no wall clock, no randomness — so a run with the same
 seed and trace produces a byte-identical decision sequence (pinned by the
@@ -72,6 +83,7 @@ class ControlPlane:
         min_items: int = _MIN_OBSERVATIONS,
         epoch_gap: float | None = None,
         shedder: LoadShedder | None = None,
+        slo=None,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.window = window
@@ -79,6 +91,10 @@ class ControlPlane:
         self.min_items = min_items
         self.estimator = DriftEstimator(tolerance)
         self.shedder = shedder
+        #: Optional :class:`~repro.obs.slo.SloEngine` (duck-typed: anything
+        #: with ``evaluate(now) -> [status dict]``).  ``None`` keeps the
+        #: epoch path exactly as before.
+        self.slo = slo
         self.tracer = tracer
         self.epochs = 0
         self.decisions: list[ReplanDecision] = []
@@ -106,6 +122,45 @@ class ControlPlane:
         out: list[ReplanDecision] = []
         est = self.estimator
 
+        slo_note = ""
+        if self.slo is not None:
+            statuses = self.slo.evaluate(now)
+            hot = [
+                status for status in statuses
+                if status["status"] in ("breach", "exhausted")
+                and status["metric"] in ("p95_latency", "throughput")
+            ]
+            recall_hot = any(
+                status["status"] in ("breach", "exhausted")
+                and status["metric"] == "recall"
+                for status in statuses
+            )
+            if hot:
+                slo_note = (
+                    "slo " + "/".join(s["metric"] for s in hot) + " breach: "
+                )
+            if self.shedder is not None:
+                want_pressure = bool(hot) and not recall_hot
+                if want_pressure != self.shedder.pressure:
+                    self.shedder.pressure = want_pressure
+                    if want_pressure:
+                        reason = (
+                            f"{slo_note}shed bound tightened to "
+                            f"{self.shedder.effective_bound}"
+                        )
+                    else:
+                        reason = (
+                            "slo pressure released: shed bound restored "
+                            f"to {self.shedder.bound}"
+                        )
+                    out.append(ReplanDecision(
+                        kind="shed",
+                        epoch=self.epochs,
+                        ts=now,
+                        per_agent=tuple(est.per_agent),
+                        reason=reason,
+                    ))
+
         if self.shedder is not None:
             critical = self.shedder.critical
             if critical and not self._was_critical:
@@ -126,7 +181,7 @@ class ControlPlane:
             and est.items >= self.min_items
             and est.num_agents >= 2
         ):
-            action = self._plan_action(now)
+            action = self._plan_action(now, slo_note)
             if action is not None:
                 out.append(action)
                 self._last_action_ts = now
@@ -134,13 +189,20 @@ class ControlPlane:
         self._emit(out)
         return out
 
-    def _plan_action(self, now: float) -> ReplanDecision | None:
-        """At most one allocation-shaping action per acting epoch."""
+    def _plan_action(self, now: float,
+                     slo_note: str = "") -> ReplanDecision | None:
+        """At most one allocation-shaping action per acting epoch.
+
+        A non-empty *slo_note* (a latency/throughput SLO is failing)
+        drops the drift tolerance to zero: any misplaced unit is worth
+        moving when an objective is already breached.
+        """
         est = self.estimator
         current = list(est.per_agent)
         optimal = est.optimal_allocation()
         moves = allocation_moves(current, optimal)
-        if moves > est.allowed_moves():
+        threshold = 0 if slo_note else est.allowed_moves()
+        if moves > threshold:
             agent = partner = None
             kind = "reallocate"
             if moves == 1:
@@ -158,7 +220,12 @@ class ControlPlane:
                 per_agent=tuple(optimal),
                 agent=agent,
                 partner=partner,
-                reason=f"drift moves {moves} > allowed {est.allowed_moves()}",
+                reason=(
+                    f"{slo_note}drift moves {moves} "
+                    f"(allowed {est.allowed_moves()})"
+                    if slo_note else
+                    f"drift moves {moves} > allowed {est.allowed_moves()}"
+                ),
             )
             # Judge the new allocation against post-replan observations
             # only; the observed busy at replan time is its load forecast.
@@ -224,6 +291,7 @@ class ControlPlane:
         for decision in decisions:
             self.tracer.replan(
                 decision.ts, decision.kind, list(decision.per_agent),
-                decision.reason,
+                decision.reason, epoch=decision.epoch,
+                agent=decision.agent, partner=decision.partner,
             )
         self.decisions.extend(decisions)

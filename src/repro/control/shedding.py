@@ -79,6 +79,12 @@ class LoadShedder:
         self.backlog = 0
         self.shed_total = 0
         self.shed_by_type: dict[str, int] = {}
+        #: SLO pressure valve: when the control plane observes a latency /
+        #: throughput SLO breach it sets this, halving the effective
+        #: overload bound so shedding starts earlier.  The hard ceiling
+        #: stays anchored to the configured bound — pressure makes the
+        #: shedder *eager*, never *blind*.
+        self.pressure = False
 
     def note_backlog(self, in_flight: int) -> None:
         """The driver reports the current in-flight item count before each
@@ -86,8 +92,14 @@ class LoadShedder:
         self.backlog = in_flight
 
     @property
+    def effective_bound(self) -> int:
+        if self.pressure and self.bound > 0:
+            return max(1, self.bound // 2)
+        return self.bound
+
+    @property
     def overloaded(self) -> bool:
-        return self.bound > 0 and self.backlog > self.bound
+        return self.bound > 0 and self.backlog > self.effective_bound
 
     @property
     def critical(self) -> bool:

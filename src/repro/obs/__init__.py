@@ -17,6 +17,13 @@ On top of the raw trace sit the analysis passes:
 * :class:`MetricsRegistry` / :class:`MetricsTracer` — counters, gauges,
   and histograms with label support, exportable as JSON or Prometheus
   text exposition (:func:`prometheus_text`);
+* :class:`SloEngine` / :class:`SloTracer` / :func:`slo_report` —
+  declarative service-level objectives (:class:`SloSpec`) evaluated
+  online over sliding windows with error-budget burn accounting, or
+  byte-identically from a recorded trace;
+* :func:`audit_report` — decision provenance: reconstructs, from the
+  trace alone, the causal chain behind every control-plane
+  ``ReplanDecision`` (trigger evidence, decision, before/after effect);
 * :mod:`repro.obs.dashboard` — the terminal dashboard:
   :func:`render_frame` is a pure plain-text frame renderer,
   :class:`DashboardTracer` paints it live on the kernel's snapshot
@@ -35,6 +42,15 @@ from repro.obs.export import (
 from repro.obs.analysis import latency_breakdown, percentile
 from repro.obs.calibration import calibration_report
 from repro.obs.drift import DriftEstimator, DriftTracer
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVE,
+    SLO_METRICS,
+    SloEngine,
+    SloSpec,
+    SloTracer,
+    slo_report,
+)
+from repro.obs.audit import audit_report
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -70,6 +86,13 @@ __all__ = [
     "calibration_report",
     "DriftEstimator",
     "DriftTracer",
+    "DEFAULT_OBJECTIVE",
+    "SLO_METRICS",
+    "SloEngine",
+    "SloSpec",
+    "SloTracer",
+    "slo_report",
+    "audit_report",
     "Counter",
     "Gauge",
     "Histogram",

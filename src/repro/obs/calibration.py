@@ -54,13 +54,28 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
     Returns ``None`` when the trace carries no allocation/fusion plan or
     no busy spans (partition-strategy traces, empty traces) — calibration
     is only defined for runs the cost model planned.
+
+    Adaptive traces (REPLAN events present) are calibrated against the
+    *last* plan using post-plan observations only: drift the control
+    plane already acted on mid-run is its doing, not a model residual.
+    The report then carries an ``"adaptation"`` block naming how many
+    decisions fired; non-adaptive traces are byte-unchanged.
     """
     events = _events_of(trace)
 
     plan = None
+    replans = 0
+    replan_kinds: dict[str, int] = {}
+    shed_events = 0
     for event in events:
         if event.kind in (TraceKind.ALLOC_PLAN, TraceKind.FUSION_PLAN):
             plan = event  # the last plan wins (re-planning runs)
+        elif event.kind == TraceKind.REPLAN:
+            replans += 1
+            kind = event.args.get("decision", "?")
+            replan_kinds[kind] = replan_kinds.get(kind, 0) + 1
+        elif event.kind == TraceKind.SHED:
+            shed_events += 1
     if plan is None:
         return None
 
@@ -77,34 +92,63 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
         predicted_loads = [float(count) for count in per_agent_units]
     predicted_total = sum(predicted_loads)
 
-    busy = [0.0] * num_agents
-    match_items = [0] * num_agents
-    unit_busy: dict[int, float] = {}
-    depth_samples: dict[int, list[tuple[float, int]]] = {}
-    span_end = 0.0
-    for event in events:
-        if event.kind == TraceKind.UNIT_BUSY:
-            if event.agent is None or not 0 <= event.agent < num_agents:
-                continue
-            busy[event.agent] += event.dur
-            if event.args.get("item") == "match":
-                match_items[event.agent] += 1
-            if event.unit is not None:
-                unit_busy[event.unit] = unit_busy.get(event.unit, 0.0) + event.dur
-            if event.ts + event.dur > span_end:
-                span_end = event.ts + event.dur
-        elif event.kind == TraceKind.QUEUE_DEPTH:
-            if event.agent is None or not 0 <= event.agent < num_agents:
-                continue
-            depth_samples.setdefault(event.agent, []).append(
-                (event.ts, event.args.get("depth", 0))
-            )
+    def _accumulate(cutoff: float):
+        busy = [0.0] * num_agents
+        match_items = [0] * num_agents
+        unit_busy: dict[int, float] = {}
+        depth_samples: dict[int, list[tuple[float, int]]] = {}
+        span_end = 0.0
+        for event in events:
+            if event.kind == TraceKind.UNIT_BUSY:
+                if event.agent is None or not 0 <= event.agent < num_agents:
+                    continue
+                if event.ts < cutoff:
+                    continue
+                busy[event.agent] += event.dur
+                if event.args.get("item") == "match":
+                    match_items[event.agent] += 1
+                if event.unit is not None:
+                    unit_busy[event.unit] = (
+                        unit_busy.get(event.unit, 0.0) + event.dur
+                    )
+                if event.ts + event.dur > span_end:
+                    span_end = event.ts + event.dur
+            elif event.kind == TraceKind.QUEUE_DEPTH:
+                if event.agent is None or not 0 <= event.agent < num_agents:
+                    continue
+                if event.ts < cutoff:
+                    continue
+                depth_samples.setdefault(event.agent, []).append(
+                    (event.ts, event.args.get("depth", 0))
+                )
+        return busy, match_items, unit_busy, depth_samples, span_end
+
+    # Adaptive runs: judge the surviving (last) plan on what it actually
+    # governed — observations from its install onward.  Pre-replan drift
+    # was acted on, not left unexplained.
+    post_plan_only = replans > 0 and plan.ts > 0
+    adaptation_note = ""
+    busy, match_items, unit_busy, depth_samples, span_end = _accumulate(
+        plan.ts if post_plan_only else 0.0
+    )
+    if post_plan_only and sum(busy) <= 0:
+        # The final plan landed too late to govern any busy span; fall
+        # back to whole-run observations rather than returning nothing.
+        post_plan_only = False
+        adaptation_note = (
+            "final plan saw no post-plan busy spans; calibrated against "
+            "the whole run"
+        )
+        busy, match_items, unit_busy, depth_samples, span_end = _accumulate(0.0)
 
     total_busy = sum(busy)
     if total_busy <= 0:
         return None
     if total_time is None or total_time <= 0:
         total_time = span_end
+    # Match-consumption rates are measured over the span the observations
+    # cover: post-plan only for adaptive runs, the whole run otherwise.
+    rate_window = total_time - plan.ts if post_plan_only else total_time
 
     integrals = [
         _depth_integral(depth_samples.get(agent, []), total_time)
@@ -135,7 +179,7 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
                 integrals[agent] / total_integral if total_integral > 0 else 0.0
             ),
             "match_rate": (
-                match_items[agent] / total_time if total_time > 0 else 0.0
+                match_items[agent] / rate_window if rate_window > 0 else 0.0
             ),
         })
 
@@ -156,7 +200,7 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
     ]
     agent_mean = sum(agent_norm) / len(agent_norm) if agent_norm else 0.0
 
-    return {
+    report = {
         "scheme": plan.args.get("scheme", "fusion"),
         "total_units": total_units,
         "total_time": total_time,
@@ -186,3 +230,16 @@ def calibration_report(trace: "TraceRecorder | Iterable[TraceEvent]",
         },
         "verdict": "calibrated" if within else "drifted",
     }
+    if replans or shed_events:
+        # Drift the control plane acted on mid-run is accounted for here,
+        # not reported as unexplained residual model error.
+        adaptation = {
+            "replans": replans,
+            "by_kind": dict(sorted(replan_kinds.items())),
+            "shed_events": shed_events,
+            "post_plan_only": post_plan_only,
+        }
+        if adaptation_note:
+            adaptation["note"] = adaptation_note
+        report["adaptation"] = adaptation
+    return report

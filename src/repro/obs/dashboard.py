@@ -58,6 +58,9 @@ DEFAULT_HEIGHT = 24
 #: Queue-depth samples kept per agent for the sparkline.
 HISTORY = 32
 
+#: Control-plane decisions kept for the timeline pane.
+DECISION_LOG = 8
+
 #: Share-drift thresholds for the per-agent indicator: ``ok`` below
 #: :data:`DRIFT_WARN`, ``!`` up to :data:`DRIFT_ALERT`, ``!!`` beyond.
 DRIFT_WARN = 0.05
@@ -101,6 +104,11 @@ class DashboardState:
         self.replans = 0
         #: Latest control-plane decision: ``{decision, per_agent, reason}``.
         self.last_replan: dict | None = None
+        #: Trailing control-plane decisions (the timeline pane), newest
+        #: last: ``{ts, decision, reason}``.
+        self.decision_log: deque = deque(maxlen=DECISION_LOG)
+        #: Latest SLO verdict per metric: ``{value, bound, ok, burn}``.
+        self.slo: dict[str, dict] = {}
         #: Latest allocation/fusion plan: ``{scheme, per_agent, loads}``.
         self.plan: dict | None = None
         self.agent_busy: dict[int, float] = {}
@@ -155,7 +163,9 @@ class DashboardState:
         self.shed += 1
 
     def on_replan(self, ts: float, decision: str, per_agent,
-                  reason: str) -> None:
+                  reason: str, epoch: int | None = None,
+                  agent: int | None = None,
+                  partner: int | None = None) -> None:
         self._advance(ts)
         self.replans += 1
         self.last_replan = {
@@ -163,6 +173,14 @@ class DashboardState:
             "per_agent": [int(count) for count in per_agent],
             "reason": str(reason),
         }
+        entry = {"ts": ts, "decision": str(decision), "reason": str(reason)}
+        if epoch is not None:
+            entry["epoch"] = int(epoch)
+        if agent is not None:
+            entry["agent"] = int(agent)
+        if partner is not None:
+            entry["partner"] = int(partner)
+        self.decision_log.append(entry)
         # Re-allocation updates the live plan so the drift column tracks
         # the *current* allocation, exactly like a fresh ALLOC_PLAN would.
         if self.plan is not None and self.last_replan["per_agent"]:
@@ -197,6 +215,18 @@ class DashboardState:
     def on_migration(self, ts: float) -> None:
         self._advance(ts)
         self.migrations += 1
+
+    def on_slo(self, ts: float, metric: str, value: float, bound: float,
+               ok: bool, burn: float) -> None:
+        self._advance(ts)
+        # The recorder rounds value/burn to six decimals when writing the
+        # trace; round here too so live == replay.
+        self.slo[str(metric)] = {
+            "value": round(float(value), 6),
+            "bound": float(bound),
+            "ok": bool(ok),
+            "burn": round(float(burn), 6),
+        }
 
     def on_match(self, ts: float, latency: float | None) -> None:
         self._advance(ts)
@@ -244,9 +274,17 @@ class DashboardState:
             self.on_replan(
                 event.ts, args.get("decision", "?"),
                 args.get("per_agent", []), args.get("reason", ""),
+                epoch=args.get("epoch"), agent=args.get("agent"),
+                partner=args.get("partner"),
             )
         elif kind == TraceKind.SHED:
             self.on_shed(event.ts)
+        elif kind == TraceKind.SLO:
+            self.on_slo(
+                event.ts, args.get("metric", "?"), args.get("value", 0.0),
+                args.get("bound", 0.0), args.get("ok", False),
+                args.get("burn", 0.0),
+            )
 
     # -- snapshot ------------------------------------------------------- #
 
@@ -287,6 +325,11 @@ class DashboardState:
                 "migrations": self.migrations,
                 "replans": self.replans,
                 "last_replan": self.last_replan,
+                "decision_log": [dict(entry) for entry in self.decision_log],
+            },
+            "slo": {
+                metric: dict(verdict)
+                for metric, verdict in sorted(self.slo.items())
             },
             "agents": agents,
             "units": {
@@ -406,6 +449,34 @@ def render_frame(snapshot: Mapping, plan: Mapping | None = None,
             f"replan [{last_replan.get('decision', '?')}] units "
             f"{units_text or '-'} ({last_replan.get('reason', '')})"
         )
+
+    # SLO pane and decision timeline appear only when the run carries SLO
+    # verdicts / control decisions, so non-adaptive frames stay
+    # byte-identical to the pre-SLO goldens.
+    slo = _mapping(snapshot.get("slo"))
+    if slo:
+        for metric, verdict in sorted(slo.items()):
+            verdict = _mapping(verdict)
+            burn = max(0.0, _num(verdict.get("burn")))
+            mark = "ok" if verdict.get("ok") else "BREACH"
+            lines.append(
+                f"slo {str(metric):<12} {_num(verdict.get('value')):>9.4f} "
+                f"vs {_num(verdict.get('bound')):>9.4f} {mark:<6} "
+                f"burn {_bar(min(burn, 1.0), 10)} {burn:6.2f}"
+            )
+    decision_log = dynamics.get("decision_log") or []
+    if isinstance(decision_log, Sequence) and not isinstance(
+        decision_log, (str, bytes)
+    ) and decision_log:
+        lines.append("decisions (newest last):")
+        for entry in list(decision_log)[-DECISION_LOG:]:
+            entry = _mapping(entry)
+            epoch = entry.get("epoch")
+            epoch_text = f"e{_count(epoch)} " if epoch is not None else ""
+            lines.append(
+                f"  t={_num(entry.get('ts')):8.2f} {epoch_text}"
+                f"[{entry.get('decision', '?')}] {entry.get('reason', '')}"
+            )
 
     plan_units: list[int] = []
     plan_shares: list[float] | None = None
@@ -704,13 +775,20 @@ class DashboardTracer(Tracer):
         self.state.on_partition_start(ts)
         self.inner.partition_start(ts, partition, unit)
 
-    def replan(self, ts, decision, per_agent, reason) -> None:
-        self.state.on_replan(ts, decision, per_agent, reason)
-        self.inner.replan(ts, decision, per_agent, reason)
+    def replan(self, ts, decision, per_agent, reason, epoch=None,
+               agent=None, partner=None) -> None:
+        self.state.on_replan(ts, decision, per_agent, reason, epoch=epoch,
+                             agent=agent, partner=partner)
+        self.inner.replan(ts, decision, per_agent, reason, epoch=epoch,
+                          agent=agent, partner=partner)
 
     def shed(self, ts, event_type, policy) -> None:
         self.state.on_shed(ts)
         self.inner.shed(ts, event_type, policy)
+
+    def slo(self, ts, metric, value, bound, ok, burn) -> None:
+        self.state.on_slo(ts, metric, value, bound, ok, burn)
+        self.inner.slo(ts, metric, value, bound, ok, burn)
 
     # Exporters accept any object exposing ``events``; delegate to the
     # inner recorder when it has one (as MetricsTracer does).

@@ -160,11 +160,18 @@ class DriftTracer(Tracer):
     def partition_start(self, ts, partition, unit) -> None:
         self.inner.partition_start(ts, partition, unit)
 
-    def replan(self, ts, decision, per_agent, reason) -> None:
-        self.inner.replan(ts, decision, per_agent, reason)
+    def replan(self, ts, decision, per_agent, reason,
+               epoch=None, agent=None, partner=None) -> None:
+        self.inner.replan(
+            ts, decision, per_agent, reason,
+            epoch=epoch, agent=agent, partner=partner,
+        )
 
     def shed(self, ts, event_type, policy) -> None:
         self.inner.shed(ts, event_type, policy)
+
+    def slo(self, ts, metric, value, bound, ok, burn) -> None:
+        self.inner.slo(ts, metric, value, bound, ok, burn)
 
     def frame_tick(self, ts) -> None:
         self.inner.frame_tick(ts)

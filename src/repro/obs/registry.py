@@ -311,6 +311,12 @@ class MetricsTracer(Tracer):
         self._shed = reg.counter(
             "sim_shed_total", "events shed by the splitter under overload"
         )
+        self._slo_windows = reg.counter(
+            "sim_slo_windows_total", "closed SLO evaluation windows by verdict"
+        )
+        self._slo_burn = reg.gauge(
+            "sim_slo_burn_rate", "error-budget burn rate per SLO metric"
+        )
 
     def _labels(self, **labels: object) -> dict:
         if self._strategy:
@@ -360,13 +366,24 @@ class MetricsTracer(Tracer):
     def partition_start(self, ts, partition, unit) -> None:
         self.inner.partition_start(ts, partition, unit)
 
-    def replan(self, ts, decision, per_agent, reason) -> None:
+    def replan(self, ts, decision, per_agent, reason,
+               epoch=None, agent=None, partner=None) -> None:
         self._replans.inc(1, **self._labels(decision=decision))
-        self.inner.replan(ts, decision, per_agent, reason)
+        self.inner.replan(
+            ts, decision, per_agent, reason,
+            epoch=epoch, agent=agent, partner=partner,
+        )
 
     def shed(self, ts, event_type, policy) -> None:
         self._shed.inc(1, **self._labels(type=event_type, policy=policy))
         self.inner.shed(ts, event_type, policy)
+
+    def slo(self, ts, metric, value, bound, ok, burn) -> None:
+        self._slo_windows.inc(
+            1, **self._labels(metric=metric, ok=str(bool(ok)).lower())
+        )
+        self._slo_burn.set(burn, **self._labels(metric=metric))
+        self.inner.slo(ts, metric, value, bound, ok, burn)
 
     def frame_tick(self, ts) -> None:
         self.inner.frame_tick(ts)
@@ -379,8 +396,16 @@ class MetricsTracer(Tracer):
 
 
 def populate_from_summary(registry: MetricsRegistry, summary: Mapping,
-                          strategy: str = "") -> MetricsRegistry:
-    """Fill *registry* from a ``SimResult.extra["obs"]`` summary dict."""
+                          strategy: str = "",
+                          extra: Mapping | None = None) -> MetricsRegistry:
+    """Fill *registry* from a ``SimResult.extra["obs"]`` summary dict.
+
+    Pass the whole ``SimResult.extra`` as *extra* to additionally export
+    the adaptive-runtime sections that live beside the obs summary:
+    ``extra["control"]`` (epochs, decisions by kind), ``extra["shed"]``
+    (shed totals by type, the configured bound), and ``extra["slo"]``
+    (windows evaluated/violated and burn rate per objective).
+    """
     base = {"strategy": strategy} if strategy else {}
     total_time = registry.gauge(
         "sim_total_time", "virtual duration of the run"
@@ -425,4 +450,52 @@ def populate_from_summary(registry: MetricsRegistry, summary: Mapping,
         "sim_match_mean_latency", "mean detection latency"
     )
     mean_latency.set(matches.get("mean_latency", 0.0), **base)
+
+    if extra:
+        control = extra.get("control")
+        if control:
+            epochs = registry.counter(
+                "sim_control_epochs_total", "control-plane epochs evaluated"
+            )
+            epochs.inc(control.get("epochs", 0), **base)
+            decisions = registry.counter(
+                "sim_control_decisions_total",
+                "control-plane decisions emitted, by kind",
+            )
+            for decision in control.get("decisions", []):
+                decisions.inc(1, kind=decision.get("kind", "?"), **base)
+        shed = extra.get("shed")
+        if shed:
+            shed_counter = registry.counter(
+                "sim_shed_events_total",
+                "events shed by the splitter, by type",
+            )
+            policy = shed.get("policy", "")
+            for name, count in shed.get("by_type", {}).items():
+                shed_counter.inc(count, type=name, policy=policy, **base)
+            shed_bound = registry.gauge(
+                "sim_shed_bound", "configured shedding backlog bound"
+            )
+            shed_bound.set(shed.get("bound", 0), **base)
+        slo = extra.get("slo")
+        if slo:
+            windows = registry.counter(
+                "sim_slo_windows_evaluated_total",
+                "SLO windows evaluated per objective",
+            )
+            violated = registry.counter(
+                "sim_slo_windows_violated_total",
+                "SLO windows violated per objective",
+            )
+            burn = registry.gauge(
+                "sim_slo_burn_rate", "error-budget burn rate per SLO metric"
+            )
+            for row in slo.get("specs", []):
+                metric = row.get("spec", {}).get("metric", "?")
+                windows.inc(row.get("windows_evaluated", 0),
+                            metric=metric, **base)
+                violated.inc(row.get("windows_violated", 0),
+                             metric=metric, **base)
+                burn.set(row.get("budget", {}).get("burn_rate", 0.0),
+                         metric=metric, **base)
     return registry

@@ -41,11 +41,12 @@ class TraceKind:
     PARTITION_START = "partition_start"  # instant: partition run activated
     REPLAN = "replan"                # instant: control-plane epoch decision
     SHED = "shed"                    # instant: splitter shed an event (overload)
+    SLO = "slo"                      # instant: SLO window closed with a verdict
 
     ALL = (
         UNIT_BUSY, QUEUE_DEPTH, SPLITTER_ROUTE, SPLITTER_DROP, ALLOC_PLAN,
         FUSION_PLAN, ROLE_SWITCH, MIGRATION, MATCH, PARTITION_START,
-        REPLAN, SHED,
+        REPLAN, SHED, SLO,
     )
 
 
@@ -133,14 +134,26 @@ class Tracer:
         """A data-parallel partition run was activated on *unit*."""
 
     def replan(self, ts: float, decision: str, per_agent: list[int],
-               reason: str) -> None:
+               reason: str, epoch: int | None = None,
+               agent: int | None = None,
+               partner: int | None = None) -> None:
         """The runtime control plane acted at an epoch: *decision* is the
         :class:`~repro.control.decisions.ReplanDecision` kind
         (``reallocate`` / ``migrate`` / ``fuse`` / ``defuse`` / ``shed``),
-        *per_agent* the unit allocation after applying it."""
+        *per_agent* the unit allocation after applying it.  *epoch* /
+        *agent* / *partner* carry the decision's provenance (its epoch
+        number and, for pairwise decisions, the donor and recipient) so
+        the full :class:`~repro.control.decisions.ReplanDecision` is
+        reconstructable from the trace alone (:mod:`repro.obs.audit`)."""
 
     def shed(self, ts: float, event_type: str, policy: str) -> None:
         """The splitter shed a pattern-relevant event under overload."""
+
+    def slo(self, ts: float, metric: str, value: float, bound: float,
+            ok: bool, burn: float) -> None:
+        """An SLO evaluation window closed with a verdict: *value* against
+        *bound* for *metric*, *burn* the error-budget burn rate after
+        charging this window (:mod:`repro.obs.slo`)."""
 
     def frame_tick(self, ts: float) -> None:
         """The kernel's snapshot cadence fired (and once more at finish).
@@ -243,17 +256,36 @@ class TraceRecorder(Tracer):
         ))
 
     def replan(self, ts: float, decision: str, per_agent: list[int],
-               reason: str) -> None:
-        self.events.append(TraceEvent(
-            TraceKind.REPLAN, ts,
-            args={
-                "decision": decision,
-                "per_agent": list(per_agent),
-                "reason": reason,
-            },
-        ))
+               reason: str, epoch: int | None = None,
+               agent: int | None = None,
+               partner: int | None = None) -> None:
+        args = {
+            "decision": decision,
+            "per_agent": list(per_agent),
+            "reason": reason,
+        }
+        if epoch is not None:
+            args["epoch"] = epoch
+        if agent is not None:
+            args["agent"] = agent
+        if partner is not None:
+            args["partner"] = partner
+        self.events.append(TraceEvent(TraceKind.REPLAN, ts, args=args))
 
     def shed(self, ts: float, event_type: str, policy: str) -> None:
         self.events.append(TraceEvent(
             TraceKind.SHED, ts, args={"type": event_type, "policy": policy},
+        ))
+
+    def slo(self, ts: float, metric: str, value: float, bound: float,
+            ok: bool, burn: float) -> None:
+        self.events.append(TraceEvent(
+            TraceKind.SLO, ts,
+            args={
+                "metric": metric,
+                "value": round(value, 6),
+                "bound": bound,
+                "ok": bool(ok),
+                "burn": round(burn, 6),
+            },
         ))

@@ -43,6 +43,7 @@ from repro.hypersonic.agent import AgentCore
 from repro.hypersonic.buffers import BufferSnapshot
 from repro.hypersonic.engine import HypersonicConfig, HypersonicEngine
 from repro.hypersonic.items import ItemKind, Receipt, WorkItem
+from repro.obs.slo import SloEngine, SloSpec
 from repro.obs.tracer import Tracer
 from repro.simulator.cache import CacheModel
 from repro.simulator.kernel import SimKernel
@@ -95,6 +96,7 @@ class HypersonicSimulation:
         adapt: str = "off",
         shed_bound: int = 0,
         shed_policy: str | None = None,
+        slos: Iterable[SloSpec] | None = None,
     ) -> None:
         # ``costs`` drives the virtual clock — the simulated deployment's
         # actual per-action costs.  ``model_costs`` is the *planner's*
@@ -146,6 +148,12 @@ class HypersonicSimulation:
         )
         self.shedder: LoadShedder | None = None
         self._control: ControlPlane | None = None
+        # SLO evaluation (repro.obs.slo) — ``None`` unless specs were
+        # given, so the default path does no extra per-event work.
+        specs = tuple(slos) if slos else ()
+        self.slo: SloEngine | None = (
+            SloEngine(specs, tracer=self.tracer) if specs else None
+        )
         self._splitter_parked = False
         self._inject_times: dict[int, float] = {}
         self._matches: list[Match] = []
@@ -179,6 +187,7 @@ class HypersonicSimulation:
             self._control = ControlPlane(
                 window=engine.nfa.window,
                 shedder=self.shedder,
+                slo=self.slo,
                 tracer=self.tracer,
             )
             if engine.allocation_plan is not None:
@@ -212,6 +221,12 @@ class HypersonicSimulation:
         if self.tracer.enabled:
             self._sample_queues(total_time)
         extra_control: dict = {}
+        if self.slo is not None:
+            # Close before finish so SLO window events precede the final
+            # frame tick (live dashboard == replay) and the report lands
+            # in the extras alongside control/shed.
+            self.slo.close(total_time)
+            extra_control["slo"] = self.slo.report()
         if self.shedder is not None:
             extra_control["shed"] = self.shedder.counts()
         if self._control is not None:
@@ -370,6 +385,13 @@ class HypersonicSimulation:
                 break
             consumed += 1
             receipt = splitter.route(event, ready_at=time)
+            if self.slo is not None:
+                # Same signals the trace records (SPLITTER_ROUTE / SHED),
+                # so slo_report over the JSONL reproduces this evaluation.
+                if receipt.shed:
+                    self.slo.observe_shed(time)
+                elif not receipt.dropped:
+                    self.slo.observe_route(time)
             if not receipt.dropped and not receipt.shed:
                 routed = True
                 self._events_routed += 1
@@ -534,6 +556,10 @@ class HypersonicSimulation:
                 arrival = self._inject_times.get(latest_id)
                 if arrival is not None:
                     kernel.latency.add(done - arrival)
+                if self.slo is not None:
+                    self.slo.observe_match(
+                        done, done - arrival if arrival is not None else None,
+                    )
                 if self.tracer.enabled:
                     self.tracer.match(
                         done, position,
@@ -611,6 +637,7 @@ def simulate_hypersonic(
     adapt: str = "off",
     shed_bound: int = 0,
     shed_policy: str | None = None,
+    slos=None,
 ) -> SimResult:
     """Convenience wrapper: build, simulate, return the result."""
     simulation = HypersonicSimulation(
@@ -629,5 +656,6 @@ def simulate_hypersonic(
         adapt=adapt,
         shed_bound=shed_bound,
         shed_policy=shed_policy,
+        slos=slos,
     )
     return simulation.run(events)

@@ -33,6 +33,7 @@ import heapq
 import random
 
 from repro.obs.analysis import latency_breakdown
+from repro.obs.audit import audit_report
 from repro.obs.calibration import calibration_report
 from repro.obs.export import summarize
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -274,6 +275,12 @@ class SimKernel:
                 calibration = calibration_report(events, total_time=total_time)
                 if calibration is not None:
                     obs["calibration"] = calibration
+                # Decision provenance — only for adaptive traces (returns
+                # None without REPLAN events), so golden-pinned runs keep
+                # their obs summary byte-identical.
+                audit = audit_report(events, total_time=total_time)
+                if audit is not None:
+                    obs["audit"] = audit
             if self.costs is not None:
                 obs["costs"] = self.costs.as_dict()
             result.extra["obs"] = obs

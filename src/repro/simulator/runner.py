@@ -71,8 +71,14 @@ def simulate(
     adapt: str = "off",
     shed_bound: int = 0,
     shed_policy: str | None = None,
+    slos=None,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
+
+    ``slos`` (a sequence of :class:`repro.obs.slo.SloSpec`) attaches
+    online SLO evaluation: verdicts land in ``extra["slo"]`` and, with
+    ``adapt="on"``, feed the control plane as replan/shed triggers.  Like
+    adaptation, it requires an agent-chain strategy.
 
     ``batch_size`` enables the opt-in batched execution mode: the
     splitter injects and agents process events in micro-batches of up to
@@ -133,12 +139,12 @@ def simulate(
         raise SimulationError(f"adapt must be 'off' or 'on', got {adapt!r}")
     if shed_bound < 0:
         raise SimulationError(f"shed_bound must be >= 0, got {shed_bound}")
-    if (adapt == "on" or shed_bound > 0) and strategy not in (
+    if (adapt == "on" or shed_bound > 0 or slos) and strategy not in (
         "hypersonic", "state"
     ):
         raise SimulationError(
-            "online adaptation and load shedding require an agent-chain "
-            f"strategy (hypersonic/state), not {strategy!r}"
+            "online adaptation, load shedding, and SLO evaluation require "
+            f"an agent-chain strategy (hypersonic/state), not {strategy!r}"
         )
     source = as_source(events)
     if inflight_cap is None:
@@ -157,7 +163,7 @@ def simulate(
             fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
             pace=pace, tracer=tracer, model_costs=model_costs,
             batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
-            shed_policy=shed_policy,
+            shed_policy=shed_policy, slos=slos,
         )
     if measure_latency and not source.replayable:
         # The latency measurement re-runs the workload; a single-pass
@@ -172,7 +178,7 @@ def simulate(
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=None, tracer=tracer, model_costs=model_costs,
         batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
-        shed_policy=shed_policy,
+        shed_policy=shed_policy, slos=slos,
     )
     if not measure_latency or capacity.throughput <= 0:
         return capacity
@@ -185,7 +191,7 @@ def simulate(
         fusion=fusion, force_fusion_pairs=force_fusion_pairs, seed=seed,
         pace=pace, tracer=None, model_costs=model_costs,
         batch_size=batch_size, adapt=adapt, shed_bound=shed_bound,
-        shed_policy=shed_policy,
+        shed_policy=shed_policy, slos=slos,
     )
     capacity.avg_latency = paced.avg_latency
     capacity.p95_latency = paced.p95_latency
@@ -217,6 +223,7 @@ def _run_once(
     adapt: str = "off",
     shed_bound: int = 0,
     shed_policy: str | None = None,
+    slos=None,
 ) -> SimResult:
     if strategy == "sequential":
         return simulate_partitioned(
@@ -264,6 +271,7 @@ def _run_once(
                 adapt=adapt,
                 shed_bound=shed_bound,
                 shed_policy=shed_policy,
+                slos=slos,
             )
         config = HypersonicConfig(
             role_dynamic=role_dynamic,
@@ -290,6 +298,7 @@ def _run_once(
             adapt=adapt,
             shed_bound=shed_bound,
             shed_policy=shed_policy,
+            slos=slos,
         )
     if strategy == "rip":
         engine = RIPEngine(pattern, num_cores, chunk_size=chunk_size)

@@ -1,0 +1,161 @@
+"""Decision provenance: audit_report reconstructs triggers and effects
+from the trace alone, byte-identically live and from the JSONL export."""
+
+import json
+
+import pytest
+
+from repro.core import Pattern
+from repro.datasets import BurstyConfig, generate_bursty_stream
+from repro.obs import audit_report
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.tracer import TraceRecorder
+from repro.simulator import simulate
+
+
+def _quiet_trace() -> TraceRecorder:
+    recorder = TraceRecorder()
+    recorder.alloc_plan(0.0, [2, 2], [1.0, 1.0], "proportional")
+    recorder.unit_busy(0.5, 1.0, unit=0, agent=0, role="mb1", item_kind="event")
+    recorder.match(2.0, agent=0, latency=1.5)
+    return recorder
+
+
+def _adaptive_trace() -> TraceRecorder:
+    """Hand-built trace: plan, skewed busy, a migrate, more busy."""
+    recorder = TraceRecorder()
+    recorder.alloc_plan(0.0, [4, 4], [1.0, 1.0], "proportional")
+    for index in range(10):
+        ts = 0.5 + index * 0.5
+        recorder.unit_busy(ts, 0.9, unit=0, agent=0, role="mb1",
+                           item_kind="event")
+        recorder.unit_busy(ts, 0.1, unit=4, agent=1, role="mb1",
+                           item_kind="event")
+        recorder.queue_depth(ts, agent=0, channel=0, depth=4 + index)
+        recorder.queue_depth(ts, agent=1, channel=0, depth=1)
+    recorder.replan(6.0, "reallocate", [7, 1],
+                    "drift moves 3 > allowed 2", epoch=2)
+    for index in range(10):
+        ts = 6.5 + index * 0.5
+        recorder.unit_busy(ts, 0.9, unit=0, agent=0, role="mb1",
+                           item_kind="event")
+        recorder.unit_busy(ts, 0.1, unit=7, agent=1, role="mb1",
+                           item_kind="event")
+        recorder.queue_depth(ts, agent=0, channel=0, depth=2)
+        recorder.queue_depth(ts, agent=1, channel=0, depth=1)
+    return recorder
+
+
+class TestAuditReport:
+    def test_non_adaptive_trace_yields_none(self):
+        assert audit_report(_quiet_trace()) is None
+
+    def test_trigger_carries_the_estimator_evidence(self):
+        report = audit_report(_adaptive_trace())
+        assert report is not None
+        assert report["summary"]["count"] == 1
+        assert report["summary"]["by_kind"] == {"reallocate": 1}
+        decision = report["decisions"][0]
+        assert decision["kind"] == "reallocate"
+        assert decision["per_agent"] == [7, 1]
+        assert decision["epoch"] == 2
+        trigger = decision["trigger"]
+        # 20 unit_busy observations (10 per agent) before the decision.
+        assert trigger["observations"] == 20
+        assert trigger["since_plan_ts"] == 0.0
+        assert trigger["per_agent_before"] == [4, 4]
+        assert trigger["predicted_shares"] == [0.5, 0.5]
+        assert trigger["observed_shares"][0] == pytest.approx(0.9)
+        assert trigger["optimal"] == [7, 1]
+        assert trigger["moves"] == 3
+        assert trigger["drifted"] is True
+
+    def test_effect_partitions_the_run_at_the_decision(self):
+        report = audit_report(_adaptive_trace())
+        effect = report["decisions"][0]["effect"]
+        before, after = effect["before"], effect["after"]
+        assert before["start"] == 0.0 and before["end"] == 6.0
+        assert after["start"] == 6.0
+        assert before["busy_shares"][0] == pytest.approx(0.9)
+        assert after["busy_shares"][0] == pytest.approx(0.9)
+        # Queue pressure on agent 0 eased after the reallocation.
+        assert after["queue_integrals"][0] < before["queue_integrals"][0]
+        # The new split [7, 1] matches where the load actually went, the
+        # old split [4, 4] did not: the decision aligned the allocation.
+        assert effect["moves_to_optimal"] == {"before": 3, "after": 0}
+        assert effect["aligned"] is True
+
+    def test_estimator_reset_mirrors_the_live_plane(self):
+        recorder = _adaptive_trace()
+        recorder.replan(12.0, "shed", [7, 1], "backlog past hard ceiling")
+        report = audit_report(recorder)
+        second = report["decisions"][1]
+        # Judged against post-reallocation observations only.
+        assert second["trigger"]["since_plan_ts"] == 6.0
+        assert second["trigger"]["observations"] == 20
+        assert second["trigger"]["per_agent_before"] == [7, 1]
+        # [7, 1] tracks the 0.9/0.1 load: no residual drift post-replan.
+        assert second["trigger"]["drifted"] is False
+        assert "moves_to_optimal" not in second["effect"]
+
+    def test_total_time_defaults_to_the_trace_span(self):
+        report = audit_report(_adaptive_trace())
+        assert report["total_time"] == pytest.approx(11.0 + 0.9)
+        pinned = audit_report(_adaptive_trace(), total_time=20.0)
+        assert pinned["total_time"] == 20.0
+        assert pinned["decisions"][0]["effect"]["after"]["end"] == 20.0
+
+
+class TestJsonlRoundTrip:
+    @pytest.fixture(scope="class")
+    def adaptive_result(self):
+        pattern = Pattern.sequence(["S0", "S1", "S2"], window=0.5)
+        events = list(generate_bursty_stream(BurstyConfig(
+            symbols=("S0", "S1", "S2", "S3"),
+            base_rate=40.0,
+            num_phases=4,
+            events_per_phase=120,
+            seed=7,
+        )))
+        recorder = TraceRecorder()
+        reference = simulate("hypersonic", pattern, events, num_cores=4)
+        return simulate(
+            "hypersonic", pattern, events, num_cores=4,
+            adapt="on", shed_bound=8, shed_policy="pattern",
+            pace=1.0 / max(1.5 * reference.throughput, 1e-12),
+            tracer=recorder,
+        ), recorder
+
+    def test_live_audit_equals_jsonl_replay_byte_for_byte(
+        self, adaptive_result, tmp_path
+    ):
+        result, recorder = adaptive_result
+        live = result.extra["obs"]["audit"]
+        assert live["decisions"], "adaptive run produced no decisions"
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), recorder)
+        replayed = audit_report(
+            read_jsonl(str(path)), total_time=live["total_time"]
+        )
+        assert (
+            json.dumps(live, sort_keys=True)
+            == json.dumps(replayed, sort_keys=True)
+        )
+
+    def test_every_decision_is_fully_reconstructable(self, adaptive_result):
+        result, _ = adaptive_result
+        audit = result.extra["obs"]["audit"]
+        control = result.extra["control"]
+        assert audit["summary"]["count"] == len(control["decisions"])
+        for record, emitted in zip(audit["decisions"], control["decisions"]):
+            assert record["kind"] == emitted["kind"]
+            assert record["reason"] == emitted["reason"]
+            assert record["ts"] == emitted["ts"]
+            trigger = record["trigger"]
+            assert trigger["observations"] >= 0
+            assert (
+                len(trigger["observed_shares"])
+                == len(trigger["per_agent_before"])
+            )
+            assert "before" in record["effect"]
+            assert "after" in record["effect"]

@@ -29,7 +29,7 @@ class TestRunBench:
         assert set(snapshot["scenarios"]) == {
             "fig7_throughput", "sensors_throughput", "batched_throughput",
             "skewed_throughput", "shifted_throughput", "adaptation_recall",
-            "fig8_latency",
+            "recall_latency_frontier", "fig8_latency",
         }
         fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
         assert set(fig7) == {
@@ -91,6 +91,29 @@ class TestRunBench:
         assert adaptive["matches"] > static["matches"]
         assert adaptive["recall"] > static["recall"]
 
+    def test_frontier_scenario_sweeps_bounds_monotonically(self, snapshot):
+        from repro.bench.regression import SNAPSHOT_SCHEMA
+
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA == 5
+        frontier = snapshot["scenarios"]["recall_latency_frontier"]
+        assert frontier["reference_matches"] > 0
+        bounds = frontier["bounds"]
+        assert bounds == sorted(bounds) and len(bounds) >= 3
+        cells = [frontier["strategies"][f"bound_{b}"] for b in bounds]
+        for bound, cell in zip(bounds, cells):
+            assert cell["shed_bound"] == bound
+            assert cell["p95_latency"] >= 0
+            assert 0.0 <= cell["recall"] <= 1.0
+        # The frontier's defining invariant, asserted by run_bench itself:
+        # loosening the bound never loses matches.
+        matches = [cell["matches"] for cell in cells]
+        assert matches == sorted(matches)
+        recalls = [cell["recall"] for cell in cells]
+        assert recalls == sorted(recalls)
+        # The sweep spans a real trade-off at quick scale: the tightest
+        # bound genuinely sheds.
+        assert cells[0]["shed_total"] > 0
+
     def test_sensors_scenario_not_degenerate(self, snapshot):
         sensors = snapshot["scenarios"]["sensors_throughput"]
         assert sensors["dataset"] == "sensors"
@@ -114,8 +137,8 @@ class TestRunBench:
         assert report["regressions"] == []
         assert report["improvements"] == []
         # 5 fig7 + 5 sensors + 2 batched + 5 skewed + 5 shifted
-        # + 3 adaptation + 4 fig8 cells
-        assert report["compared"] == 29
+        # + 3 adaptation + 4 frontier + 4 fig8 cells
+        assert report["compared"] == 33
         assert report["skipped"] == []
 
     def test_tuned_parameters_add_a_row_per_throughput_scenario(self):
@@ -208,7 +231,7 @@ class TestCompare:
         del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
         report = compare_snapshots(partial, snapshot)
         # All cells minus the dropped fig8 scenario (4) and llsf cell (1).
-        assert report["compared"] == 24
+        assert report["compared"] == 28
         assert len(report["skipped"]) == 2
 
     def test_schema_1_baseline_compares_shared_scenarios(self, snapshot):
@@ -221,7 +244,7 @@ class TestCompare:
         report = compare_snapshots(old, snapshot)
         assert report["ok"] is True
         # All cells minus the 5 sensors ones (skipped: no baseline).
-        assert report["compared"] == 24
+        assert report["compared"] == 28
         assert any("schema 1" in note for note in report["skipped"])
         assert any("sensors_throughput" in note
                    for note in report["skipped"])

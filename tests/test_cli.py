@@ -284,6 +284,75 @@ class TestAutotune:
             main(["autotune"])
 
 
+class TestSloCli:
+    _ADAPTIVE = [
+        "--length", "3", "--window", "20", "--selectivity", "0.4",
+        "--cores", "4", "--strategies", "hypersonic",
+        "--adapt", "on", "--shed-bound", "8", "--shed-policy", "pattern",
+        "--pace", "0.2",
+    ]
+
+    @pytest.fixture()
+    def adaptive_jsonl(self, stock_csv, tmp_path, capsys):
+        jsonl = tmp_path / "adaptive.jsonl"
+        code = main([
+            "simulate", "stocks", str(stock_csv), *self._ADAPTIVE,
+            "--slo-p95", "50", "--slo-recall", "0.9",
+            "--slo-throughput", "1",
+            "--trace-jsonl", str(jsonl),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hypersonic: slo" in out
+        return jsonl
+
+    def test_slo_flags_require_agent_chain_strategy(self, stock_csv):
+        with pytest.raises(SystemExit, match="agent-chain"):
+            main([
+                "simulate", "stocks", str(stock_csv),
+                "--length", "3", "--window", "20", "--cores", "2",
+                "--strategies", "sequential", "--slo-p95", "50",
+            ])
+
+    def test_invalid_slo_spec_rejected(self, stock_csv):
+        with pytest.raises(SystemExit, match="recall floor"):
+            main([
+                "simulate", "stocks", str(stock_csv), *self._ADAPTIVE,
+                "--slo-recall", "1.5",
+            ])
+
+    def test_obs_report_audit_text(self, adaptive_jsonl, capsys):
+        assert main([
+            "obs-report", str(adaptive_jsonl), "--audit",
+            "--slo-p95", "50", "--slo-recall", "0.9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decision provenance" in out
+        assert "slo report" in out
+        assert "adaptation:" in out
+
+    def test_obs_report_audit_json_is_deterministic(self, adaptive_jsonl,
+                                                    capsys):
+        import json
+
+        outputs = []
+        for _ in range(2):
+            assert main([
+                "obs-report", str(adaptive_jsonl), "--audit", "--json",
+                "--slo-recall", "0.9",
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert set(payload) >= {"calibration", "latency_breakdown",
+                                "audit", "slo"}
+        audit = payload["audit"]
+        assert audit is not None and audit["decisions"]
+        for decision in audit["decisions"]:
+            assert "trigger" in decision and "effect" in decision
+        assert payload["slo"]["specs"][0]["spec"]["metric"] == "recall"
+
+
 class TestBenchTune:
     def test_quick_bench_records_tuned_row(self, tmp_path, capsys):
         code = main(["bench", "--quick", "--tune", "--dir", str(tmp_path)])

@@ -91,6 +91,27 @@ class TestDriftEstimator:
         est.note_plan([3, 1], [])
         assert est.predicted_shares() == pytest.approx([0.75, 0.25])
 
+    def test_constant_busy_shares_never_drift(self):
+        """Observed shares that exactly track the prediction stay
+        calibrated no matter how many observations accumulate."""
+        est = DriftEstimator()
+        est.note_plan([6, 2], [3.0, 1.0])
+        for _ in range(500):
+            est.note_busy(0, 3.0)
+            est.note_busy(1, 1.0)
+        assert est.items == 1000
+        assert est.moves() == 0
+        assert not est.drifted()
+        assert est.optimal_allocation() == [6, 2]
+
+    def test_single_agent_plan_never_moves(self):
+        est = DriftEstimator()
+        est.note_plan([4], [1.0])
+        for _ in range(100):
+            est.note_busy(0, 1.0)
+        assert est.moves() == 0
+        assert not est.drifted()
+
 
 class _StubAgent:
     """Minimal consumer shape for the shedder's hot/cold probe."""
@@ -206,6 +227,75 @@ class TestLoadShedder:
             "bound": 2,
         }
 
+    def test_hard_ceiling_boundary_is_exactly_twice_the_bound(self):
+        shedder = LoadShedder(
+            bound=4, policy="pattern",
+            consumers={"B": _StubAgent(buffered=3)},
+        )
+        shedder.note_backlog(8)  # == 2 * bound: hot events still protected
+        assert shedder.overloaded
+        assert not shedder.critical
+        assert not shedder.should_shed(_event("B"))
+        shedder.note_backlog(9)  # one past the ceiling: blind mode
+        assert shedder.critical
+        assert shedder.should_shed(_event("B"))
+
+    def test_sustained_overload_sheds_every_sheddable_arrival(self):
+        """Past the hard ceiling the shedder never lets anything but guard
+        types through, no matter how long the overload lasts."""
+        shedder = LoadShedder(
+            bound=4, policy="pattern", guard_types=frozenset({"N"}),
+            seed_types=frozenset({"A"}),
+            consumers={"B": _StubAgent(buffered=3)},
+        )
+        for _ in range(50):
+            shedder.note_backlog(100)  # sustained, far past 2 * bound
+            assert shedder.should_shed(_event("A"))
+            assert shedder.should_shed(_event("B"))
+            assert not shedder.should_shed(_event("N"))
+        assert shedder.shed_total == 100
+        assert shedder.counts()["by_type"] == {"A": 50, "B": 50}
+
+    def test_pressure_halves_the_effective_bound(self):
+        shedder = LoadShedder(bound=8, policy="tail")
+        assert shedder.effective_bound == 8
+        shedder.pressure = True
+        assert shedder.effective_bound == 4
+        # Backlog between the halved and configured bound: overloaded only
+        # under pressure.
+        shedder.note_backlog(6)
+        assert shedder.overloaded
+        assert shedder.should_shed(_event("A"))
+        shedder.pressure = False
+        assert not shedder.overloaded
+        assert not shedder.should_shed(_event("A"))
+
+    def test_pressure_keeps_hard_ceiling_anchored(self):
+        """Pressure makes the shedder eager, never blind: the critical
+        ceiling stays at twice the *configured* bound."""
+        shedder = LoadShedder(
+            bound=8, policy="pattern",
+            consumers={"B": _StubAgent(buffered=3)},
+        )
+        shedder.pressure = True
+        shedder.note_backlog(10)  # past 2 * effective_bound, under 2 * bound
+        assert shedder.overloaded
+        assert not shedder.critical
+        assert not shedder.should_shed(_event("B"))  # hot still protected
+
+    def test_pressure_on_disabled_shedder_is_inert(self):
+        shedder = LoadShedder(bound=0, policy="tail")
+        shedder.pressure = True
+        assert shedder.effective_bound == 0
+        shedder.note_backlog(10_000)
+        assert not shedder.overloaded
+        assert not shedder.should_shed(_event("A"))
+
+    def test_pressure_floor_is_one(self):
+        shedder = LoadShedder(bound=1, policy="tail")
+        shedder.pressure = True
+        assert shedder.effective_bound == 1
+
 
 class TestControlPlaneUnit:
     def _fed_plane(self, **kwargs) -> ControlPlane:
@@ -259,6 +349,40 @@ class TestControlPlaneUnit:
         shedder.note_backlog(100)
         assert any(d.kind == "shed" for d in plane.epoch(13.0))
 
+    def test_observation_floor_blocks_action(self):
+        """Fewer than min_items busy observations since the last plan are
+        noise: the plane must not act on them (the default floor is 64)."""
+        plane = ControlPlane(window=5.0)
+        plane.note_plan([4, 4], [1.0, 1.0])
+        assert plane.min_items == 64
+        for index in range(63):
+            plane.observe_busy(index % 2, 9.0 if index % 2 == 0 else 1.0)
+        assert plane.epoch(10.0) == []
+        plane.observe_busy(0, 9.0)  # the 64th observation crosses the floor
+        decisions = plane.epoch(20.0)
+        assert decisions
+        assert decisions[0].kind in ("reallocate", "migrate")
+
+    def test_reset_on_replan_judges_post_replan_observations_only(self):
+        """After a re-allocation the estimator restarts from the observed
+        busy at replan time; load that keeps tracking the new allocation
+        must not trigger a second action."""
+        plane = self._fed_plane()
+        for _ in range(10):
+            plane.observe_busy(0, 9.0)
+            plane.observe_busy(1, 1.0)
+        decisions = plane.epoch(10.0)
+        assert len(decisions) == 1
+        new_allocation = list(decisions[0].per_agent)
+        assert plane.estimator.per_agent == new_allocation
+        assert plane.estimator.items == 0
+        # Post-replan load lands exactly where the new plan predicted it.
+        for _ in range(10):
+            plane.observe_busy(0, 9.0)
+            plane.observe_busy(1, 1.0)
+        later = plane.epoch(20.0)  # past the epoch gap
+        assert all(d.kind not in ("reallocate", "migrate") for d in later)
+
     def test_decision_as_dict_round_trips_json(self):
         decision = ReplanDecision(
             kind="migrate", epoch=3, ts=1.5, per_agent=(2, 1, 1),
@@ -269,6 +393,114 @@ class TestControlPlaneUnit:
         assert payload["per_agent"] == [2, 1, 1]
         assert payload["agent"] == 0
         assert payload["partner"] == 2
+
+
+class _StubSlo:
+    """Duck-typed stand-in for SloEngine: the plane only calls evaluate()."""
+
+    def __init__(self):
+        self.statuses: list[dict] = []
+
+    def evaluate(self, now):
+        return self.statuses
+
+
+class TestSloTriggers:
+    def _plane(self, **kwargs) -> ControlPlane:
+        plane = ControlPlane(window=5.0, min_items=4, **kwargs)
+        plane.note_plan([4, 4], [1.0, 1.0])
+        return plane
+
+    @staticmethod
+    def _status(metric: str, status: str) -> dict:
+        return {"metric": metric, "status": status, "burn": 1.0}
+
+    def test_healthy_slo_changes_nothing(self):
+        slo = _StubSlo()
+        slo.statuses = [self._status("p95_latency", "ok")]
+        plane = self._plane(slo=slo)
+        assert plane.epoch(10.0) == []
+
+    def test_latency_breach_forces_action_below_drift_threshold(self):
+        # Mild skew: 0.6/0.4 shares put one unit out of place, which is
+        # within the drift tolerance (allowed 2 of 8) — without an SLO
+        # signal the plane leaves it alone.
+        baseline = self._plane()
+        for _ in range(10):
+            baseline.observe_busy(0, 6.0)
+            baseline.observe_busy(1, 4.0)
+        assert baseline.epoch(10.0) == []
+
+        slo = _StubSlo()
+        slo.statuses = [self._status("p95_latency", "breach")]
+        plane = self._plane(slo=slo)
+        for _ in range(10):
+            plane.observe_busy(0, 6.0)
+            plane.observe_busy(1, 4.0)
+        decisions = plane.epoch(10.0)
+        assert len(decisions) == 1
+        decision = decisions[0]
+        assert decision.kind == "migrate"
+        assert decision.reason.startswith("slo p95_latency breach:")
+        assert decision.agent == 1 and decision.partner == 0
+
+    def test_exhausted_budget_counts_as_hot(self):
+        slo = _StubSlo()
+        slo.statuses = [self._status("throughput", "exhausted")]
+        plane = self._plane(slo=slo)
+        for _ in range(10):
+            plane.observe_busy(0, 6.0)
+            plane.observe_busy(1, 4.0)
+        decisions = plane.epoch(10.0)
+        assert decisions and decisions[0].reason.startswith(
+            "slo throughput breach:"
+        )
+
+    def test_pressure_valve_engages_and_releases(self):
+        slo = _StubSlo()
+        shedder = LoadShedder(bound=8, policy="tail")
+        plane = self._plane(slo=slo, shedder=shedder)
+
+        slo.statuses = [self._status("p95_latency", "breach")]
+        engaged = plane.epoch(10.0)
+        assert [d.kind for d in engaged] == ["shed"]
+        assert "shed bound tightened to 4" in engaged[0].reason
+        assert shedder.pressure is True
+        # Still breaching: edge-triggered, no repeat decision.
+        assert plane.epoch(11.0) == []
+
+        # A recall breach means shedding is eating matches: release.
+        slo.statuses = [self._status("recall", "breach")]
+        released = plane.epoch(12.0)
+        assert [d.kind for d in released] == ["shed"]
+        assert "slo pressure released" in released[0].reason
+        assert "shed bound restored to 8" in released[0].reason
+        assert shedder.pressure is False
+
+    def test_recall_breach_alone_never_tightens(self):
+        slo = _StubSlo()
+        shedder = LoadShedder(bound=8, policy="tail")
+        plane = self._plane(slo=slo, shedder=shedder)
+        slo.statuses = [self._status("recall", "breach")]
+        assert plane.epoch(10.0) == []
+        assert shedder.pressure is False
+
+    def test_recall_breach_vetoes_pressure_under_latency_breach(self):
+        # Both hot: tightening the shed bound would trade away even more
+        # recall, so the valve stays open while the allocation still acts.
+        slo = _StubSlo()
+        shedder = LoadShedder(bound=8, policy="tail")
+        plane = self._plane(slo=slo, shedder=shedder)
+        slo.statuses = [
+            self._status("p95_latency", "breach"),
+            self._status("recall", "breach"),
+        ]
+        for _ in range(10):
+            plane.observe_busy(0, 6.0)
+            plane.observe_busy(1, 4.0)
+        decisions = plane.epoch(10.0)
+        assert shedder.pressure is False
+        assert [d.kind for d in decisions] == ["migrate"]
 
 
 def _bursty_workload():

@@ -31,7 +31,8 @@ from repro.obs import (
     replay_frames,
     write_jsonl,
 )
-from repro.obs.dashboard import Dashboard, DashboardState
+from repro.obs.dashboard import DECISION_LOG, Dashboard, DashboardState
+from repro.obs.tracer import TraceKind
 from repro.simulator import simulate
 
 PATTERN = Pattern.sequence(["A", "B", "C"], window=6.0)
@@ -117,6 +118,78 @@ class TestGoldenFrame:
         second = replay_frames(events, strategy="x")
         assert first == second
         assert len(first) > 1  # intermediate frames, not just the final one
+
+
+class TestSloAndDecisionPanes:
+    def _adaptive_slo_events(self):
+        recorder = TraceRecorder()
+        recorder.alloc_plan(0.0, [2, 1], [1.0, 1.0], "proportional")
+        recorder.unit_busy(0.5, 1.0, unit=0, agent=0, role="mb1",
+                           item_kind="event")
+        recorder.replan(4.0, "migrate", [1, 2],
+                        "drift moves 1 > allowed 1", epoch=2,
+                        agent=0, partner=1)
+        recorder.replan(6.0, "shed", [1, 2],
+                        "backlog 20 past hard ceiling (bound 8)", epoch=3)
+        recorder.slo(5.0, "recall", 0.5, 0.9, False, 1.25)
+        recorder.slo(5.0, "p95_latency", 3.0, 10.0, True, 0.0)
+        return recorder.events
+
+    def test_panes_render_from_trace_events(self):
+        state = DashboardState(strategy="hypersonic")
+        for event in self._adaptive_slo_events():
+            state.observe(event)
+        frame = render_frame(state.snapshot(), state.plan)
+        assert "decisions (newest last):" in frame
+        assert "[migrate]" in frame and "[shed]" in frame
+        assert "drift moves 1 > allowed 1" in frame
+        assert "slo recall" in frame and "BREACH" in frame
+        assert "slo p95_latency" in frame and " ok" in frame
+
+    def test_snapshot_carries_decision_log_and_slo(self):
+        state = DashboardState(strategy="hypersonic")
+        for event in self._adaptive_slo_events():
+            state.observe(event)
+        snapshot = state.snapshot()
+        log = snapshot["dynamics"]["decision_log"]
+        assert [entry["decision"] for entry in log] == ["migrate", "shed"]
+        assert log[0]["epoch"] == 2 and log[0]["agent"] == 0
+        assert snapshot["slo"]["recall"]["ok"] is False
+        assert snapshot["slo"]["recall"]["burn"] == 1.25
+
+    def test_decision_log_keeps_the_trailing_window(self):
+        state = DashboardState(strategy="x")
+        recorder = TraceRecorder()
+        for index in range(DECISION_LOG + 5):
+            recorder.replan(float(index), "migrate", [1, 1], f"r{index}")
+        for event in recorder.events:
+            state.observe(event)
+        log = state.snapshot()["dynamics"]["decision_log"]
+        assert len(log) == DECISION_LOG
+        assert log[-1]["reason"] == f"r{DECISION_LOG + 4}"
+
+    def test_non_adaptive_frames_carry_neither_pane(self):
+        tracer = record_run("hypersonic")
+        frame = final_frame(tracer.events, strategy="hypersonic")
+        assert "decisions (newest last):" not in frame
+        assert "slo " not in frame
+
+    def test_live_final_frame_equals_replay_with_slo_events(self, tmp_path):
+        from repro.obs import SloSpec
+
+        live = DashboardTracer(inner=TraceRecorder(), strategy="hypersonic")
+        simulate(
+            "hypersonic", PATTERN, multi_burst_events(), num_cores=3,
+            tracer=live,
+            slos=[SloSpec("throughput", bound=0.1, window=5.0)],
+        )
+        path = tmp_path / "slo.jsonl"
+        write_jsonl(str(path), live)
+        events = read_jsonl(str(path))
+        assert any(e.kind == TraceKind.SLO for e in events)
+        replayed = final_frame(events, strategy="hypersonic")
+        assert live.final_frame() == replayed
+        assert "slo throughput" in replayed
 
 
 class TestLiveReplayEquivalence:

@@ -198,6 +198,65 @@ class TestPopulateFromSummary:
         # the export renders without raising
         assert "sim_total_time" in prometheus_text(reg)
 
+    def test_extra_exports_control_shed_and_slo_series(self):
+        extra = {
+            "control": {
+                "epochs": 12,
+                "decisions": [
+                    {"kind": "migrate"}, {"kind": "shed"}, {"kind": "shed"},
+                ],
+            },
+            "shed": {
+                "policy": "pattern",
+                "bound": 16,
+                "by_type": {"S0": 5, "S1": 2},
+            },
+            "slo": {
+                "specs": [{
+                    "spec": {"metric": "p95_latency", "bound": 100.0},
+                    "windows_evaluated": 9,
+                    "windows_violated": 2,
+                    "budget": {"burn_rate": 0.5},
+                }],
+            },
+        }
+        reg = populate_from_summary(
+            MetricsRegistry(), {"total_time": 1.0},
+            strategy="hypersonic", extra=extra,
+        )
+        dump = reg.to_json()
+        assert dump["sim_control_epochs_total"]["series"][0]["value"] == 12
+        decisions = {s["labels"]["kind"]: s["value"]
+                     for s in dump["sim_control_decisions_total"]["series"]}
+        assert decisions == {"migrate": 1, "shed": 2}
+        shed = {s["labels"]["type"]: s["value"]
+                for s in dump["sim_shed_events_total"]["series"]}
+        assert shed == {"S0": 5, "S1": 2}
+        assert all(
+            s["labels"]["policy"] == "pattern"
+            for s in dump["sim_shed_events_total"]["series"]
+        )
+        assert dump["sim_shed_bound"]["series"][0]["value"] == 16
+        slo_series = dump["sim_slo_windows_evaluated_total"]["series"][0]
+        assert slo_series["labels"]["metric"] == "p95_latency"
+        assert slo_series["value"] == 9
+        assert (
+            dump["sim_slo_windows_violated_total"]["series"][0]["value"] == 2
+        )
+        assert dump["sim_slo_burn_rate"]["series"][0]["value"] == 0.5
+        text = prometheus_text(reg)
+        assert "sim_control_decisions_total" in text
+        assert "sim_slo_burn_rate" in text
+
+    def test_without_extra_no_adaptive_series_appear(self):
+        reg = populate_from_summary(
+            MetricsRegistry(), {"total_time": 1.0}, strategy="hypersonic"
+        )
+        dump = reg.to_json()
+        for name in ("sim_control_epochs_total", "sim_shed_events_total",
+                     "sim_slo_burn_rate"):
+            assert name not in dump
+
     def test_multiple_strategies_share_one_registry(self):
         events = make_stream(num_events=200, seed=55)
         reg = MetricsRegistry()
