@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
+from repro.core.policies import resolve_matches
 from repro.core.streams import Lookahead
 from repro.engine.sequential import SequentialEngine
 
@@ -220,6 +221,7 @@ class PartitionedEngine:
                 if partition.owns(match):
                     results.append(match)
         self.metrics.events_replicated = total_inputs - len(event_list)
+        results = resolve_matches(self.pattern, results)
         self.metrics.matches_emitted = len(results)
         self.metrics.peak_memory_items = sum(unit_peaks)
         return results

@@ -14,6 +14,7 @@ from repro.bench.harness import (
     shifted_stock_events,
     skewed_stock_events,
     stock_events,
+    trip_events,
 )
 from repro.bench.regression import (
     DEFAULT_THRESHOLD,
@@ -47,6 +48,7 @@ __all__ = [
     "shifted_stock_events",
     "skewed_stock_events",
     "stock_events",
+    "trip_events",
     "format_result_rows",
     "format_series_table",
 ]

@@ -21,6 +21,7 @@ from repro.core.patterns import Pattern
 from repro.costmodel.model import CostParameters
 from repro.datasets.sensors import SensorConfig, generate_sensor_stream
 from repro.datasets.stocks import StockConfig, generate_stock_stream
+from repro.datasets.trips import TripConfig, generate_trip_stream
 from repro.simulator.cache import CacheModel
 from repro.simulator.metrics import SimResult
 from repro.simulator.runner import simulate
@@ -32,6 +33,9 @@ from repro.workloads.queries import (
     stock_kleene_query,
     stock_negation_query,
     stock_sequence_query,
+    trip_chain_query,
+    trip_negation_query,
+    trip_sequence_query,
 )
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "default_costs",
     "stock_events",
     "sensor_events",
+    "trip_events",
     "build_query",
     "compare_strategies",
     "relative_gains",
@@ -124,6 +129,28 @@ def sensor_events(scale: BenchScale = DEFAULT_SCALE) -> list[Event]:
     """The benchmark suite's cached synthetic sensor stream."""
     return list(
         _sensor_events_cached(scale.num_events, scale.per_type_rate, scale.seed)
+    )
+
+
+@lru_cache(maxsize=8)
+def _trip_events_cached(
+    num_trips: int, num_bikes: int, seed: int
+) -> tuple[Event, ...]:
+    config = TripConfig(num_trips=num_trips, num_bikes=num_bikes, seed=seed)
+    return tuple(generate_trip_stream(config))
+
+
+def trip_events(scale: BenchScale = DEFAULT_SCALE,
+                num_bikes: int = 12) -> list[Event]:
+    """The benchmark suite's cached CitiBike-style trip-chain stream.
+
+    A trip emits roughly five events (start, a geometric run of ride
+    pings, end), so the trip count is sized off the scale's event budget.
+    """
+    return list(
+        _trip_events_cached(
+            max(1, scale.num_events // 5), num_bikes, scale.seed
+        )
     )
 
 
@@ -215,9 +242,20 @@ def build_query(
 ) -> QuerySpec:
     """Instantiate a Table 2 template on a dataset sample.
 
-    ``dataset`` is "stocks" or "sensors"; ``template`` is "seq", "kleene",
-    or "negation".
+    ``dataset`` is "stocks", "sensors", or "trips"; ``template`` is
+    "seq", "kleene", or "negation".
     """
+    if dataset == "trips":
+        # Trip queries carry no planted thresholds — the bike equality
+        # join is the condition — so neither length nor sample applies.
+        builders = {
+            "seq": trip_sequence_query,
+            "kleene": trip_chain_query,
+            "negation": trip_negation_query,
+        }
+        if template not in builders:
+            raise ValueError(f"unknown template {template!r}")
+        return builders[template](window)
     sample = list(events[: max(2000, scale.num_events // 2)])
     if dataset == "stocks":
         types = [f"S{i}" for i in range(length)]

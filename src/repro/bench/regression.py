@@ -37,8 +37,10 @@ from repro.bench.harness import (
     shifted_stock_events,
     skewed_stock_events,
     stock_events,
+    trip_events,
 )
 from repro.costmodel.model import CostParameters
+from repro.engine.sequential import detect
 from repro.obs import MetricsRegistry, TraceRecorder, populate_from_summary
 from repro.simulator import simulate
 from repro.simulator.metrics import SimResult
@@ -63,13 +65,16 @@ __all__ = [
 #: adaptation_recall scenario (static tail-shedding vs the runtime
 #: control plane's pattern shedding under paced overload).  Schema 5
 #: added the recall_latency_frontier scenario (the adaptive runtime's
-#: recall-vs-p95-latency trade-off swept over the shed bound).
-SNAPSHOT_SCHEMA = 5
+#: recall-vs-p95-latency trade-off swept over the shed bound).  Schema 6
+#: added the kleene_throughput scenario (trip-chain dataset, the natural
+#: ``SEQ(start, ride+, end)`` Kleene query, with the benched match set's
+#: Kleene binding-length distribution recorded alongside the cells).
+SNAPSHOT_SCHEMA = 6
 
 #: Snapshot versions the validator and comparator accept.  Old snapshots
 #: stay loadable so the trajectory spans the bumps; scenarios a baseline
 #: lacks are skipped, not failed.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 #: Relative throughput drop that fails the comparison.
 DEFAULT_THRESHOLD = 0.15
@@ -87,6 +92,12 @@ _LATENCY_LOAD = 0.7
 
 #: Micro-batch size of the batched_throughput scenario (schema 3).
 _BATCH_SIZE = 64
+
+#: kleene_throughput (schema 6): window of the trip-chain Kleene query,
+#: in trip-stream time units.  Roughly one bike rental cycle (idle gap
+#: 8.0, ride gap 0.5), so chains stay single-trip but the STAM subset
+#: enumeration still produces bindings a dozen pings long.
+_TRIP_WINDOW = 4.0
 
 #: adaptation_recall (schema 4): offered load as a multiple of measured
 #: capacity (overload, unlike the fig8 fraction), phase count of the
@@ -207,6 +218,39 @@ def run_bench(
         tracer_factory=lambda name: tracer_factory(f"sensors_{name}"),
         seed=seed, tuned_parameters=tuned_parameters,
     )
+
+    # Kleene-closure throughput (schema 6): the trip-chain stream with the
+    # natural SEQ(start, ride+, end) query.  This is the only scenario
+    # whose inner loop is the Kleene self-loop (subset enumeration plus
+    # per-element edge conditions), so it pins the closure path's
+    # throughput directly.  compare_strategies' match-count equality check
+    # doubles as the differential gate across all strategies, and the
+    # sequential reference's Kleene binding-length distribution is
+    # recorded so a snapshot diff shows *what* the closure matched, not
+    # just how fast.
+    trips = trip_events(scale)
+    trip_spec = build_query(
+        "trips", "kleene", length, _TRIP_WINDOW, trips, scale
+    )
+    kleene_results = compare_strategies(
+        trip_spec.pattern, trips, cores=cores,
+        strategies=_THROUGHPUT_STRATEGIES, scale=scale,
+        tracer_factory=lambda name: tracer_factory(f"kleene_{name}"),
+        seed=seed, tuned_parameters=tuned_parameters,
+    )
+    kleene_name = next(
+        item.name for item in trip_spec.pattern.items if item.is_kleene
+    )
+    kleene_lengths: dict[str, int] = {}
+    for match in detect(trip_spec.pattern, trips):
+        key = str(len(match.binding[kleene_name]))
+        kleene_lengths[key] = kleene_lengths.get(key, 0) + 1
+    if sum(kleene_lengths.values()) != kleene_results["sequential"].matches:
+        raise RuntimeError(
+            "kleene_throughput reference disagrees with the benched runs: "
+            f"{sum(kleene_lengths.values())} reference matches vs "
+            f"{kleene_results['sequential'].matches} benched"
+        )
 
     # Batched execution mode (schema 3): scalar hypersonic vs the same
     # deployment with batch_size=64 vectorized micro-batching, on the
@@ -365,6 +409,19 @@ def run_bench(
             "strategies": {
                 name: _strategy_record(result)
                 for name, result in sensor_results.items()
+            },
+        },
+        "kleene_throughput": {
+            "events": len(trips),
+            "cores": cores,
+            "window": _TRIP_WINDOW,
+            "length": length,
+            "dataset": "trips",
+            "template": "kleene",
+            "kleene_lengths": kleene_lengths,
+            "strategies": {
+                name: _strategy_record(result)
+                for name, result in kleene_results.items()
             },
         },
         "batched_throughput": {

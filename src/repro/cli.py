@@ -70,25 +70,37 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     gen = commands.add_parser("generate", help="generate a synthetic stream")
-    gen.add_argument("dataset", choices=["stocks", "sensors", "bursty"])
+    gen.add_argument("dataset", choices=["stocks", "sensors", "bursty",
+                                         "trips"])
     gen.add_argument("output", help="CSV path to write")
-    gen.add_argument("--events", type=int, default=5000)
+    gen.add_argument("--events", type=int, default=5000,
+                     help="approximate stream length")
     gen.add_argument("--rate", type=float, default=0.6,
                      help="per-type arrival rate")
     gen.add_argument("--types", type=int, default=8,
                      help="number of event types (stocks/bursty)")
     gen.add_argument("--phases", type=int, default=6,
                      help="alternating calm/burst phases (bursty only)")
+    gen.add_argument("--bikes", type=int, default=12,
+                     help="fleet size (trips only)")
     gen.add_argument("--seed", type=int, default=42)
 
     det = commands.add_parser("detect", help="detect a query template")
-    det.add_argument("dataset", choices=["stocks", "sensors"])
+    det.add_argument("dataset", choices=["stocks", "sensors", "trips"])
     det.add_argument("input", help="stream CSV produced by `generate`")
     det.add_argument("--template", choices=["seq", "kleene", "negation"],
                      default="seq")
     det.add_argument("--length", type=int, default=3)
     det.add_argument("--window", type=float, default=30.0)
     det.add_argument("--selectivity", type=float, default=0.2)
+    det.add_argument("--selection",
+                     choices=["skip-till-any-match", "skip-till-next-match"],
+                     default=None,
+                     help="selection policy override (default: "
+                          "skip-till-any-match)")
+    det.add_argument("--consumption", choices=["reuse", "consume"],
+                     default=None,
+                     help="consumption policy override (default: reuse)")
     det.add_argument("--engine", choices=["sequential", "hybrid", "threads"],
                      default="sequential")
     det.add_argument("--units", type=int, default=4,
@@ -99,10 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim = commands.add_parser(
         "simulate", help="compare strategies on the simulator"
     )
-    sim.add_argument("dataset", choices=["stocks", "sensors"])
+    sim.add_argument("dataset", choices=["stocks", "sensors", "trips"])
     sim.add_argument("input", help="stream CSV produced by `generate`")
     sim.add_argument("--template", choices=["seq", "kleene", "negation"],
                      default="seq")
+    sim.add_argument("--selection",
+                     choices=["skip-till-any-match", "skip-till-next-match"],
+                     default=None,
+                     help="selection policy override")
+    sim.add_argument("--consumption", choices=["reuse", "consume"],
+                     default=None,
+                     help="consumption policy override")
     sim.add_argument("--length", type=int, default=3)
     sim.add_argument("--window", type=float, default=30.0)
     sim.add_argument("--selectivity", type=float, default=0.2)
@@ -386,7 +405,20 @@ def _build_query(args, source):
         stock_kleene_query,
         stock_negation_query,
         stock_sequence_query,
+        trip_chain_query,
+        trip_negation_query,
+        trip_sequence_query,
     )
+
+    if args.dataset == "trips":
+        # Trip templates have a fixed shape (start/ride/end on one bike)
+        # and no calibrated thresholds.
+        builders = {
+            "seq": trip_sequence_query,
+            "kleene": trip_chain_query,
+            "negation": trip_negation_query,
+        }
+        return _apply_policy_flags(builders[args.template](args.window), args)
 
     source = as_source(source)
     sample = source.prefix(_QUERY_SAMPLE_SIZE)
@@ -410,9 +442,27 @@ def _build_query(args, source):
         ("sensors", "negation"): sensor_negation_query,
     }
     builder = builders[(args.dataset, args.template)]
-    return builder(
-        types, args.window, sample, selectivity=args.selectivity
+    return _apply_policy_flags(
+        builder(types, args.window, sample, selectivity=args.selectivity),
+        args,
     )
+
+
+def _apply_policy_flags(spec, args):
+    """Apply ``--selection``/``--consumption`` overrides to a built query."""
+    selection = getattr(args, "selection", None)
+    consumption = getattr(args, "consumption", None)
+    if selection is None and consumption is None:
+        return spec
+    import dataclasses
+
+    overrides = {}
+    if selection is not None:
+        overrides["selection"] = selection
+    if consumption is not None:
+        overrides["consumption"] = consumption
+    pattern = dataclasses.replace(spec.pattern, **overrides)
+    return dataclasses.replace(spec, pattern=pattern)
 
 
 def _command_generate(args) -> int:
@@ -434,6 +484,18 @@ def _command_generate(args) -> int:
                 base_rate=args.rate,
                 num_phases=args.phases,
                 events_per_phase=max(1, args.events // args.phases),
+                seed=args.seed,
+            )
+        )
+    elif args.dataset == "trips":
+        from repro.datasets import TripConfig, generate_trip_stream
+
+        # A trip averages mean_rides + 2 events; size the fleet's trip
+        # count so the stream lands near --events.
+        events = generate_trip_stream(
+            TripConfig(
+                num_bikes=args.bikes,
+                num_trips=max(1, args.events // 5),
                 seed=args.seed,
             )
         )

@@ -1,6 +1,8 @@
 """Core CEP model: events, patterns, conditions, matches, chain NFAs."""
 
 from repro.core.conditions import (
+    KLEENE_REDUCTIONS,
+    AggregateCondition,
     AndCondition,
     AttributeCondition,
     Condition,
@@ -10,6 +12,7 @@ from repro.core.conditions import (
     PairwiseCondition,
     TrueCondition,
     UnaryCondition,
+    kleene_representative,
     pearson_correlation,
 )
 from repro.core.errors import (
@@ -29,9 +32,18 @@ from repro.core.events import (
 )
 from repro.core.matches import Match, PartialMatch, match_key
 from repro.core.nfa import ChainNFA, NegationGuard, Stage, compile_pattern
-from repro.core.patterns import ItemKind, Operator, Pattern, PatternItem
+from repro.core.patterns import (
+    ConsumptionPolicy,
+    ItemKind,
+    Operator,
+    Pattern,
+    PatternItem,
+    SelectionPolicy,
+)
+from repro.core.policies import resolve_matches
 
 __all__ = [
+    "AggregateCondition",
     "AndCondition",
     "AttributeCondition",
     "Condition",
@@ -41,6 +53,8 @@ __all__ = [
     "PairwiseCondition",
     "TrueCondition",
     "UnaryCondition",
+    "KLEENE_REDUCTIONS",
+    "kleene_representative",
     "pearson_correlation",
     "AllocationError",
     "ConditionError",
@@ -64,4 +78,7 @@ __all__ = [
     "Operator",
     "Pattern",
     "PatternItem",
+    "SelectionPolicy",
+    "ConsumptionPolicy",
+    "resolve_matches",
 ]

@@ -37,10 +37,13 @@ __all__ = [
     "UnaryCondition",
     "AttributeCondition",
     "PairwiseCondition",
+    "AggregateCondition",
     "AndCondition",
     "OrCondition",
     "NotCondition",
     "CorrelationCondition",
+    "KLEENE_REDUCTIONS",
+    "kleene_representative",
     "pearson_correlation",
 ]
 
@@ -86,13 +89,47 @@ class TrueCondition(Condition):
         return True
 
 
-def _first_event(bound: Any) -> Event:
-    """Kleene positions bind tuples; reduce to a representative event."""
+#: Valid per-condition Kleene reductions.  ``"last"`` is the historical
+#: default (and what the self-loop edge evaluation produces naturally:
+#: while a Kleene tuple grows, each appended event is checked with the
+#: position bound to that event alone, so the completed tuple's *last*
+#: element is the representative the stage conditions already agreed on).
+#: ``"strict"`` declares the condition ambiguous over tuples: binding a
+#: Kleene position to it is a pattern error.
+KLEENE_REDUCTIONS = ("first", "last", "strict")
+
+
+def kleene_representative(bound: Any, reduce: str = "last") -> Event:
+    """Reduce a Kleene tuple binding to its representative event.
+
+    Single-event bindings pass through.  ``reduce`` picks the tuple
+    element: ``"first"`` or ``"last"``; ``"strict"`` refuses tuples with a
+    clear error — use it on predicates whose meaning over a tuple is
+    genuinely ambiguous (an :class:`AggregateCondition` is the explicit
+    alternative).
+    """
+    _check_reduce(reduce)
     if isinstance(bound, tuple):
         if not bound:
             raise ConditionError("empty Kleene binding reached a condition")
-        return bound[-1]
+        if reduce == "first":
+            return bound[0]
+        if reduce == "last":
+            return bound[-1]
+        raise ConditionError(
+            "condition is ambiguous over a Kleene tuple binding "
+            f"(reduce={reduce!r}); pick reduce='first' or 'last', or "
+            "aggregate over the tuple with an AggregateCondition"
+        )
     return bound
+
+
+def _check_reduce(reduce: str) -> None:
+    if reduce not in KLEENE_REDUCTIONS:
+        raise ConditionError(
+            f"unknown Kleene reduction {reduce!r}; expected one of "
+            f"{KLEENE_REDUCTIONS}"
+        )
 
 
 @dataclass(frozen=True)
@@ -100,18 +137,27 @@ class UnaryCondition(Condition):
     """Predicate over the attributes of a single position.
 
     ``predicate`` receives the bound :class:`Event`.  ``name`` is used in
-    ``repr`` and error messages only.
+    ``repr`` and error messages only.  ``reduce`` picks the representative
+    of a Kleene tuple binding (see :func:`kleene_representative`).
     """
 
     position: str
     predicate: Callable[[Event], bool]
     name: str = "unary"
+    reduce: str = "last"
+
+    def __post_init__(self) -> None:
+        _check_reduce(self.reduce)
 
     def depends_on(self) -> frozenset[str]:
         return frozenset({self.position})
 
     def evaluate(self, binding: Binding) -> bool:
-        return bool(self.predicate(_first_event(binding[self.position])))
+        return bool(
+            self.predicate(
+                kleene_representative(binding[self.position], self.reduce)
+            )
+        )
 
     def __repr__(self) -> str:
         return f"UnaryCondition({self.name}:{self.position})"
@@ -123,12 +169,18 @@ class PairwiseCondition(Condition):
 
     The general two-position condition; :class:`AttributeCondition` and
     :class:`CorrelationCondition` are convenience specialisations.
+    ``reduce`` picks the representative of a Kleene tuple binding on either
+    side (see :func:`kleene_representative`).
     """
 
     left: str
     right: str
     predicate: Callable[[Event, Event], bool]
     name: str = "pairwise"
+    reduce: str = "last"
+
+    def __post_init__(self) -> None:
+        _check_reduce(self.reduce)
 
     def depends_on(self) -> frozenset[str]:
         return frozenset({self.left, self.right})
@@ -136,7 +188,8 @@ class PairwiseCondition(Condition):
     def evaluate(self, binding: Binding) -> bool:
         return bool(
             self.predicate(
-                _first_event(binding[self.left]), _first_event(binding[self.right])
+                kleene_representative(binding[self.left], self.reduce),
+                kleene_representative(binding[self.right], self.reduce),
             )
         )
 
@@ -168,6 +221,7 @@ class AttributeCondition(Condition):
     operator: str
     right: str
     right_attribute: str
+    reduce: str = "last"
 
     def __post_init__(self) -> None:
         if self.operator not in _OPERATORS:
@@ -175,13 +229,14 @@ class AttributeCondition(Condition):
                 f"unknown operator {self.operator!r}; "
                 f"expected one of {sorted(_OPERATORS)}"
             )
+        _check_reduce(self.reduce)
 
     def depends_on(self) -> frozenset[str]:
         return frozenset({self.left, self.right})
 
     def evaluate(self, binding: Binding) -> bool:
-        left_event = _first_event(binding[self.left])
-        right_event = _first_event(binding[self.right])
+        left_event = kleene_representative(binding[self.left], self.reduce)
+        right_event = kleene_representative(binding[self.right], self.reduce)
         try:
             lhs = left_event[self.left_attribute]
             rhs = right_event[self.right_attribute]
@@ -197,6 +252,89 @@ class AttributeCondition(Condition):
         return (
             f"({self.left}.{self.left_attribute} {self.operator} "
             f"{self.right}.{self.right_attribute})"
+        )
+
+
+_AGGREGATES: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "avg": lambda values: sum(values) / len(values),
+    "first": lambda values: values[0],
+    "last": lambda values: values[-1],
+}
+
+
+@dataclass(frozen=True)
+class AggregateCondition(Condition):
+    """``agg(position.attribute) <op> value`` over a (Kleene) binding.
+
+    The explicit alternative to reducing a Kleene tuple to one
+    representative: the aggregate ranges over **all** events bound at
+    ``position``.  ``aggregate`` is one of ``min``/``max``/``sum``/``avg``/
+    ``first``/``last``/``count`` (``count`` ignores ``attribute`` and
+    compares the tuple length).  Over a single-event binding the aggregate
+    degenerates to that event's attribute (count = 1).
+
+    Over a Kleene position the aggregate is only meaningful on the
+    *completed* tuple, so such conditions are evaluated at match closure
+    (``Pattern.closure_conjuncts``), never on the growing self-loop — the
+    NFA compiler excludes them from stage placement and the match
+    resolution step (:mod:`repro.core.policies`) applies them.
+    """
+
+    position: str
+    aggregate: str
+    operator: str
+    value: float
+    attribute: str = ""
+
+    #: Marks the condition for closure-time evaluation when it reads a
+    #: Kleene position (see Pattern.closure_conjuncts).
+    evaluate_on_closure = True
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ConditionError(
+                f"unknown operator {self.operator!r}; "
+                f"expected one of {sorted(_OPERATORS)}"
+            )
+        if self.aggregate != "count" and self.aggregate not in _AGGREGATES:
+            raise ConditionError(
+                f"unknown aggregate {self.aggregate!r}; expected one of "
+                f"{sorted(_AGGREGATES) + ['count']}"
+            )
+        if self.aggregate != "count" and not self.attribute:
+            raise ConditionError(
+                f"aggregate {self.aggregate!r} needs an attribute"
+            )
+
+    def depends_on(self) -> frozenset[str]:
+        return frozenset({self.position})
+
+    def evaluate(self, binding: Binding) -> bool:
+        bound = binding[self.position]
+        events = bound if isinstance(bound, tuple) else (bound,)
+        if not events:
+            raise ConditionError("empty Kleene binding reached a condition")
+        if self.aggregate == "count":
+            aggregated: Any = len(events)
+        else:
+            try:
+                values = [event[self.attribute] for event in events]
+            except KeyError as exc:
+                raise ConditionError(
+                    f"missing attribute {exc} on event while evaluating "
+                    f"{self.aggregate}({self.position}.{self.attribute})"
+                ) from exc
+            aggregated = _AGGREGATES[self.aggregate](values)
+        return _OPERATORS[self.operator](aggregated, self.value)
+
+    def __repr__(self) -> str:
+        target = self.attribute if self.aggregate != "count" else "*"
+        return (
+            f"({self.aggregate}({self.position}.{target}) "
+            f"{self.operator} {self.value:g})"
         )
 
 
@@ -247,13 +385,17 @@ class CorrelationCondition(Condition):
     right: str
     threshold: float
     attribute: str = "history"
+    reduce: str = "last"
+
+    def __post_init__(self) -> None:
+        _check_reduce(self.reduce)
 
     def depends_on(self) -> frozenset[str]:
         return frozenset({self.left, self.right})
 
     def evaluate(self, binding: Binding) -> bool:
-        left_event = _first_event(binding[self.left])
-        right_event = _first_event(binding[self.right])
+        left_event = kleene_representative(binding[self.left], self.reduce)
+        right_event = kleene_representative(binding[self.right], self.reduce)
         corr = pearson_correlation(
             left_event[self.attribute], right_event[self.attribute]
         )

@@ -226,7 +226,10 @@ def compile_pattern(pattern: Pattern) -> ChainNFA:
             f"chain NFA requires a SEQ pattern, got {pattern.operator.value}"
         )
 
-    conjuncts = list(pattern.conjuncts())
+    # Closure-time conjuncts (aggregates over a Kleene tuple) stay off the
+    # stages; repro.core.policies.resolve_matches applies them to completed
+    # matches instead.
+    conjuncts = list(pattern.stage_conjuncts())
     negated_names = {item.name for item in pattern.negated_items()}
 
     # Split conjuncts into per-guard conditions (those reading a negated

@@ -44,7 +44,14 @@ from repro.core.conditions import AndCondition, Condition, TrueCondition
 from repro.core.errors import PatternError
 from repro.core.events import EventType
 
-__all__ = ["Operator", "ItemKind", "PatternItem", "Pattern"]
+__all__ = [
+    "Operator",
+    "ItemKind",
+    "PatternItem",
+    "Pattern",
+    "SelectionPolicy",
+    "ConsumptionPolicy",
+]
 
 
 class Operator(enum.Enum):
@@ -53,6 +60,64 @@ class Operator(enum.Enum):
     SEQ = "SEQ"
     AND = "AND"
     OR = "OR"
+
+
+class SelectionPolicy(enum.Enum):
+    """Which qualifying event combinations become matches (SASE/SPECTRE
+    terminology).
+
+    ``SKIP_TILL_ANY`` — every qualifying in-window combination matches; the
+    paper's assumption throughout and the default here.  ``SKIP_TILL_NEXT``
+    — of all skip-till-any matches sharing the same seed event (the event
+    bound first, at stage 0), only the earliest continuation survives: the
+    match whose per-stage binding sequence is lexicographically smallest in
+    ``(timestamp, event_id)`` order.  Defined as a deterministic refinement
+    of the skip-till-any match set, so every engine resolves it identically
+    (see :mod:`repro.core.policies`).
+    """
+
+    SKIP_TILL_ANY = "skip-till-any-match"
+    SKIP_TILL_NEXT = "skip-till-next-match"
+
+
+class ConsumptionPolicy(enum.Enum):
+    """Whether a matched event remains available for further matches.
+
+    ``REUSE`` — events participate in arbitrarily many matches (the
+    default, and the paper's implicit policy).  ``CONSUME`` — consume-on-
+    match: accepted matches retire their positive events, so later matches
+    reusing any of those events are discarded.  Acceptance runs in
+    canonical detection order — ascending ``(timestamp, event_id)`` of the
+    match's latest positive event, ties broken by the binding order key —
+    making the surviving set engine-independent.
+    """
+
+    REUSE = "reuse"
+    CONSUME = "consume"
+
+
+def _coerce_selection(value: "SelectionPolicy | str") -> "SelectionPolicy":
+    if isinstance(value, SelectionPolicy):
+        return value
+    for policy in SelectionPolicy:
+        if value in (policy.value, policy.name, policy.name.lower()):
+            return policy
+    raise PatternError(
+        f"unknown selection policy {value!r}; expected one of "
+        f"{[p.value for p in SelectionPolicy]}"
+    )
+
+
+def _coerce_consumption(value: "ConsumptionPolicy | str") -> "ConsumptionPolicy":
+    if isinstance(value, ConsumptionPolicy):
+        return value
+    for policy in ConsumptionPolicy:
+        if value in (policy.value, policy.name, policy.name.lower()):
+            return policy
+    raise PatternError(
+        f"unknown consumption policy {value!r}; expected one of "
+        f"{[p.value for p in ConsumptionPolicy]}"
+    )
 
 
 class ItemKind(enum.Enum):
@@ -116,6 +181,12 @@ class Pattern:
         pattern is unconditioned.
     name:
         Optional human-readable name used in reports.
+    selection:
+        Which qualifying combinations become matches; defaults to
+        skip-till-any-match as assumed throughout the paper.
+    consumption:
+        Whether matched events stay available for further matches; defaults
+        to reuse.
     """
 
     operator: Operator
@@ -123,8 +194,17 @@ class Pattern:
     window: float
     condition: Condition = field(default_factory=TrueCondition)
     name: str = ""
+    selection: SelectionPolicy = SelectionPolicy.SKIP_TILL_ANY
+    consumption: ConsumptionPolicy = ConsumptionPolicy.REUSE
 
     def __post_init__(self) -> None:
+        # Accept the string spellings (CLI flags, snapshots) transparently.
+        object.__setattr__(
+            self, "selection", _coerce_selection(self.selection)
+        )
+        object.__setattr__(
+            self, "consumption", _coerce_consumption(self.consumption)
+        )
         if self.window <= 0:
             raise PatternError(f"window must be positive, got {self.window}")
         if not self.items:
@@ -150,11 +230,35 @@ class Pattern:
                         f"{self.operator.value} patterns support only primary "
                         f"items; got {item!r}"
                     )
+            if not self.has_default_policies:
+                # Selection/consumption resolution orders bindings by SEQ
+                # stage position; AND/OR have no such order.
+                raise PatternError(
+                    f"{self.operator.value} patterns support only the default "
+                    "skip-till-any-match/reuse policies"
+                )
         unknown = self.condition.depends_on() - set(names)
         if unknown:
             raise PatternError(
                 f"condition references unknown positions: {sorted(unknown)}"
             )
+        kleene_names = {item.name for item in self.items if item.is_kleene}
+        if kleene_names:
+            for conjunct in self.conjuncts():
+                strict_deps = (
+                    conjunct.depends_on() & kleene_names
+                    if getattr(conjunct, "reduce", None) == "strict"
+                    else frozenset()
+                )
+                if strict_deps:
+                    raise PatternError(
+                        f"condition {conjunct!r} is ambiguous over the Kleene "
+                        f"position(s) {sorted(strict_deps)}: a strict "
+                        "condition refuses to reduce a tuple binding to one "
+                        "representative.  Pick reduce='first' or "
+                        "reduce='last', or aggregate over the whole tuple "
+                        "with an AggregateCondition."
+                    )
 
     # ------------------------------------------------------------------ #
     # Constructors                                                       #
@@ -199,11 +303,15 @@ class Pattern:
         negated: Iterable[int] = (),
         names: Sequence[str] | None = None,
         name: str = "",
+        selection: "SelectionPolicy | str" = SelectionPolicy.SKIP_TILL_ANY,
+        consumption: "ConsumptionPolicy | str" = ConsumptionPolicy.REUSE,
     ) -> "Pattern":
         """Build a SEQ pattern.
 
         *kleene* and *negated* are 0-based indexes into *types* marking which
-        positions carry the respective modifier.
+        positions carry the respective modifier.  *selection* and
+        *consumption* accept the enum members or their string spellings
+        (e.g. ``"skip-till-next-match"``, ``"consume"``).
         """
         return cls(
             operator=Operator.SEQ,
@@ -211,6 +319,8 @@ class Pattern:
             window=window,
             condition=condition if condition is not None else TrueCondition(),
             name=name,
+            selection=selection,
+            consumption=consumption,
         )
 
     @classmethod
@@ -264,6 +374,15 @@ class Pattern:
         return tuple(item for item in self.items if item.is_kleene)
 
     @property
+    def has_default_policies(self) -> bool:
+        """True when match resolution is the identity (skip-till-any +
+        reuse) — the fast path every pre-policy golden is pinned on."""
+        return (
+            self.selection is SelectionPolicy.SKIP_TILL_ANY
+            and self.consumption is ConsumptionPolicy.REUSE
+        )
+
+    @property
     def length(self) -> int:
         """Pattern length in the paper's sense: number of event types."""
         return len(self.items)
@@ -289,8 +408,47 @@ class Pattern:
             return self.condition.flattened()
         return (self.condition,)
 
+    def closure_conjuncts(self) -> tuple[Condition, ...]:
+        """Conjuncts evaluated on the *completed* match only.
+
+        A condition marked ``evaluate_on_closure`` (currently
+        ``AggregateCondition``) that reads a Kleene position is only
+        meaningful once the tuple stops growing, so the NFA compiler keeps
+        it off the stages and the match-resolution step
+        (:func:`repro.core.policies.resolve_matches`) applies it as a
+        post-filter.  Over non-Kleene positions such conditions degenerate
+        to ordinary single-event checks and stay on their stage.
+        """
+        kleene_names = {item.name for item in self.items if item.is_kleene}
+        if not kleene_names:
+            return ()
+        return tuple(
+            conjunct
+            for conjunct in self.conjuncts()
+            if getattr(conjunct, "evaluate_on_closure", False)
+            and conjunct.depends_on() & kleene_names
+        )
+
+    def stage_conjuncts(self) -> tuple[Condition, ...]:
+        """``conjuncts()`` minus ``closure_conjuncts()`` — what the NFA
+        compiler places onto stages and guards."""
+        closure = self.closure_conjuncts()
+        if not closure:
+            return self.conjuncts()
+        closure_ids = {id(conjunct) for conjunct in closure}
+        return tuple(
+            conjunct
+            for conjunct in self.conjuncts()
+            if id(conjunct) not in closure_ids
+        )
+
     def describe(self) -> str:
         """Human-readable one-line description used by the bench reports."""
         body = ", ".join(repr(item) for item in self.items)
         label = self.name or "pattern"
-        return f"{label}: {self.operator.value}({body}) within {self.window:g}"
+        text = f"{label}: {self.operator.value}({body}) within {self.window:g}"
+        if self.selection is not SelectionPolicy.SKIP_TILL_ANY:
+            text += f" [{self.selection.value}]"
+        if self.consumption is not ConsumptionPolicy.REUSE:
+            text += f" [{self.consumption.value}]"
+        return text

@@ -1,0 +1,132 @@
+"""Selection/consumption policy resolution over skip-till-any match sets.
+
+Every engine in this repository — the sequential reference, the HYPERSONIC
+agent chain, and the partition baselines — natively enumerates the
+*skip-till-any-match* set: every qualifying in-window event combination
+(paper Section 2.1).  The stricter SASE/SPECTRE-style policies are defined
+here as deterministic refinements of that set, applied once per run on the
+assembled matches:
+
+Skip-till-next-match
+    Matches are grouped by their *seed* — the ``(timestamp, event_id)`` of
+    the first event bound at stage 0 (for a Kleene stage 0, the first tuple
+    element).  Within a group only the lexicographically smallest match
+    survives, comparing the per-stage binding sequences in stage order
+    (Kleene tuples compare element-wise; a shorter tuple that is a prefix
+    of a longer one sorts first).  This is "from each starting event, take
+    the earliest possible continuation", made total and engine-independent.
+    By construction the result is a subset of the skip-till-any set.
+
+Consume-on-match
+    The (post-selection) matches are visited in canonical detection order:
+    ascending ``(timestamp, event_id)`` of each match's latest positive
+    event, ties broken by the binding order key.  A match is accepted iff
+    none of its positive events was consumed by an earlier accepted match;
+    acceptance retires all of its positive events.
+
+Because both refinements are pure functions of the skip-till-any match
+set, engines that agree on that set — which the differential suite pins —
+automatically agree on every policy combination.  The brute-force oracle
+(``tests/oracle.py``) implements the same definitions independently,
+without importing this module.
+
+Resolution is the identity for the default skip-till-any/reuse pattern, so
+all pre-policy behaviour (and every pinned golden) is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.matches import Match
+from repro.core.patterns import (
+    ConsumptionPolicy,
+    Pattern,
+    SelectionPolicy,
+)
+
+__all__ = ["resolve_matches", "binding_order_key", "detection_order_key"]
+
+
+def _stage_ids(match: Match, position: str) -> tuple[tuple[float, int], ...]:
+    bound = match.binding[position]
+    if isinstance(bound, tuple):
+        return tuple((event.timestamp, event.event_id) for event in bound)
+    return ((bound.timestamp, bound.event_id),)
+
+
+def binding_order_key(
+    match: Match, positions: Sequence[str]
+) -> tuple[tuple[tuple[float, int], ...], ...]:
+    """Lexicographic comparison key over the per-stage bindings of a SEQ
+    match, in stage order.  Total over matches of one pattern."""
+    return tuple(_stage_ids(match, position) for position in positions)
+
+
+def detection_order_key(match: Match, positions: Sequence[str]) -> tuple:
+    """Canonical detection order: latest positive event first, then the
+    binding order key as a deterministic tie-break."""
+    order = binding_order_key(match, positions)
+    latest = max(pair for stage in order for pair in stage)
+    return (latest, order)
+
+
+def _seed_key(match: Match, positions: Sequence[str]) -> tuple[float, int]:
+    return _stage_ids(match, positions[0])[0]
+
+
+def resolve_matches(pattern: Pattern, matches: Iterable[Match]) -> list[Match]:
+    """Apply *pattern*'s selection and consumption policies to a
+    skip-till-any match set.
+
+    Closure-time conjuncts (``Pattern.closure_conjuncts`` — aggregates over
+    a Kleene tuple) are applied first as a plain filter.  After that the
+    resolution is the identity (same objects, same order) for the default
+    policies.  For any stricter policy the input is first deduplicated by
+    match key — the
+    partition simulators hand one copy per owning replica — then selection
+    runs before consumption, and the survivors come back in canonical
+    detection order.
+    """
+    closure = pattern.closure_conjuncts()
+    if closure:
+        matches = [
+            match
+            for match in matches
+            if all(cond.evaluate(match.binding) for cond in closure)
+        ]
+    if pattern.has_default_policies:
+        return list(matches)
+    positions = [item.name for item in pattern.positive_items()]
+
+    seen: set[tuple] = set()
+    unique: list[Match] = []
+    for match in matches:
+        key = match.key
+        if key not in seen:
+            seen.add(key)
+            unique.append(match)
+
+    if pattern.selection is SelectionPolicy.SKIP_TILL_NEXT:
+        best: dict[tuple[float, int], tuple[tuple, Match]] = {}
+        for match in unique:
+            order = binding_order_key(match, positions)
+            seed = _seed_key(match, positions)
+            incumbent = best.get(seed)
+            if incumbent is None or order < incumbent[0]:
+                best[seed] = (order, match)
+        unique = [entry[1] for entry in best.values()]
+
+    unique.sort(key=lambda m: detection_order_key(m, positions))
+
+    if pattern.consumption is ConsumptionPolicy.CONSUME:
+        consumed: set[int] = set()
+        accepted: list[Match] = []
+        for match in unique:
+            ids = {event.event_id for event in match.events()}
+            if ids & consumed:
+                continue
+            consumed |= ids
+            accepted.append(match)
+        unique = accepted
+    return unique

@@ -18,6 +18,7 @@ from repro.costmodel.model import (
     WorkloadStatistics,
     allocation_moves,
     average_match_sizes,
+    kleene_binding_multiplicities,
     kleene_match_rate,
     match_arrival_rates,
     output_rates,
@@ -35,6 +36,7 @@ __all__ = [
     "LOAD_FEATURE_NAMES",
     "WorkloadStatistics",
     "average_match_sizes",
+    "kleene_binding_multiplicities",
     "kleene_match_rate",
     "match_arrival_rates",
     "output_rates",

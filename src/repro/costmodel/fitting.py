@@ -285,9 +285,17 @@ def fit_cost_parameters(
     scale = base_total if base_total > 0 else 1.0
     targets = [value * scale for value in clean_obs]
     solved = _solve_nnls(clean_feat, targets, start, ridge=ridge)
-    # Evaluate the error of the *representable* parameters: mapping the
-    # raw coefficients onto CostParameters can drop the cache column
-    # (gamma multiplies comparison, so comparison == 0 forfeits it).
+    # The cache coefficient is only representable as
+    # ``comparison * cache_penalty``: a solution with comparison == 0 but
+    # a positive cache coefficient would silently forfeit that column when
+    # mapped onto CostParameters.  The problem is underdetermined, so such
+    # vertices do occur; re-solve with the cache column removed so the
+    # candidate is representable by construction.
+    if solved[0] <= 0.0 and solved[3] > 0.0:
+        no_cache_feat = [row[:3] + (0.0,) + row[4:] for row in clean_feat]
+        resolved = _solve_nnls(no_cache_feat, targets, start, ridge=ridge)
+        solved = resolved[:3] + [0.0] + resolved[4:]
+    # Evaluate the error of the *representable* parameters.
     candidate = _parameters_from(solved, base)
     after = predicted_shares(clean_feat, _coefficients(candidate))
     error_after = share_error(after, clean_obs)

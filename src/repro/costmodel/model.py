@@ -41,6 +41,7 @@ __all__ = [
     "LOAD_FEATURE_NAMES",
     "match_arrival_rates",
     "kleene_match_rate",
+    "kleene_binding_multiplicities",
     "average_match_sizes",
     "proportional_allocation",
     "allocation_moves",
@@ -117,6 +118,12 @@ class WorkloadStatistics:
     rates: tuple[float, ...]
     selectivities: tuple[float, ...]
     event_sizes: tuple[float, ...] = ()
+    # Optional per-stage arrival rates of negation-guard event types
+    # attached at each stage (0.0 where the stage carries no guard).  A
+    # guard candidate is checked against the same buffered matches as a
+    # positive event, so its rate adds to the stage's comparison traffic
+    # in the closed-form load (the guards themselves bind no stage).
+    guard_rates: tuple[float, ...] = ()
     # Optional directly-measured partial-match rates: element ``j`` is the
     # rate of matches *entering* agent ``j`` (the sampled ground truth for
     # Theorem 2's recursion; the recursion extrapolates with the full window
@@ -144,6 +151,16 @@ class WorkloadStatistics:
             raise AllocationError("selectivities must lie in [0, 1]")
         if self.event_sizes and len(self.event_sizes) != len(self.rates):
             raise AllocationError("event_sizes length must match rates")
+        if self.guard_rates:
+            if len(self.guard_rates) != len(self.rates):
+                raise AllocationError("guard_rates length must match rates")
+            if any(rate < 0 for rate in self.guard_rates):
+                raise AllocationError("guard rates must be non-negative")
+
+    def guard_rate_of(self, stage: int) -> float:
+        if self.guard_rates:
+            return self.guard_rates[stage]
+        return 0.0
 
     @property
     def num_stages(self) -> int:
@@ -268,6 +285,47 @@ def average_match_sizes(stats: WorkloadStatistics, window: float,
     return sizes
 
 
+def kleene_binding_multiplicities(
+    stats: WorkloadStatistics, window: float,
+    kleene_stages: frozenset[int] = frozenset(),
+) -> list[float]:
+    """Expected binding multiplicity per stage — 1.0 for primary stages,
+    the expected Kleene tuple length for closure stages.
+
+    Uses the same per-length rate series as Theorem 5
+    (:func:`average_match_sizes`): with ``m^{KC_j} = m_prev (e s W)^j``
+    partials of tuple length ``j``, the expectation of ``j`` over the
+    emitted matches.  This is the factor by which a Kleene stage's
+    comparison traffic exceeds a primary stage's at equal event/match
+    rates: each accepted event both extends and re-seeds open tuples, so
+    the self-loop holds that many live continuations per incoming partial.
+    The load model multiplies its closed-form ``comp`` term by this
+    (measured ``stage_work`` already embeds the growth and is left alone).
+    """
+    num_stages = stats.num_stages
+    multiplicities = [1.0] * num_stages
+    if num_stages < 2:
+        return multiplicities
+    arrival = match_arrival_rates(stats, window, kleene_stages)
+    for stage in kleene_stages:
+        if not 1 <= stage < num_stages:
+            continue
+        base = stats.rates[stage] * stats.selectivities[stage] * window
+        num_terms = int(min(max(stats.rates[stage] * window, 0.0),
+                            _KLEENE_MAX_TERMS))
+        m_prev = arrival[stage - 1]
+        weighted = total = 0.0
+        term = m_prev
+        for j in range(1, num_terms + 1):
+            term = min(term * base, _RATE_CAP)
+            weighted += term * j
+            total += term
+        denom = total + m_prev
+        expected = weighted / denom if denom > 0 else 0.0
+        multiplicities[stage] = max(1.0, expected)
+    return multiplicities
+
+
 @dataclass(frozen=True)
 class AgentLoad:
     """Load decomposition for one agent (Table 1 rows comp/sync/load)."""
@@ -365,6 +423,9 @@ class LoadModel:
             return []
         arrival, outputs = self._arrival_outputs()
         stage_work = self.stats.stage_work
+        multiplicity = kleene_binding_multiplicities(
+            self.stats, self.window, self.kleene_stages
+        )
         per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
         rows: list[tuple[float, ...]] = []
         for agent in range(num_agents):
@@ -374,7 +435,10 @@ class LoadModel:
             if len(stage_work) > stage:
                 comp_base = stage_work[stage]
             else:
-                comp_base = 2.0 * e_i * m_i * self.window
+                comp_base = (
+                    2.0 * (e_i + self.stats.guard_rate_of(stage))
+                    * m_i * self.window * multiplicity[stage]
+                )
             comp_base = min(comp_base, _RATE_CAP)
             acc = min((e_i + m_i) * per_role, _RATE_CAP)
             rows.append((
@@ -398,6 +462,9 @@ class LoadModel:
             return []
         arrival, outputs = self._arrival_outputs()
         stage_work = self.stats.stage_work
+        multiplicity = kleene_binding_multiplicities(
+            self.stats, self.window, self.kleene_stages
+        )
         per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
         loads: list[AgentLoad] = []
         for agent in range(num_agents):
@@ -408,7 +475,9 @@ class LoadModel:
                 comp = self._comparison_cost(agent) * stage_work[stage]
             else:
                 comp = (
-                    2.0 * self._comparison_cost(agent) * e_i * m_i * self.window
+                    2.0 * self._comparison_cost(agent)
+                    * (e_i + self.stats.guard_rate_of(stage))
+                    * m_i * self.window * multiplicity[stage]
                 )
             if self.costs.cache_penalty:
                 comp *= 1.0 + self.costs.cache_penalty * m_i * self.window

@@ -185,12 +185,33 @@ def estimate_statistics(
             )
             for stage in nfa.stages
         )
+    # Negation pricing: the arrival rate of each stage's guard event types
+    # (they scan the stage's match buffer without binding it).
+    guard_names_per_stage = [
+        tuple(guard.item.event_type.name for guard in stage.guards_after)
+        for stage in nfa.stages
+    ]
+    guard_rates: tuple[float, ...] = ()
+    if any(guard_names_per_stage):
+        guard_rate_map = substream_rates(
+            sample,
+            sorted({
+                name
+                for names in guard_names_per_stage
+                for name in names
+            }),
+        )
+        guard_rates = tuple(
+            sum(guard_rate_map.get(name, 0.0) for name in names)
+            for names in guard_names_per_stage
+        )
     return WorkloadStatistics(
         rates=stage_rates,
         selectivities=selectivities,
         event_sizes=sizes,
         match_rates=match_rates,
         stage_work=stage_work,
+        guard_rates=guard_rates,
     )
 
 

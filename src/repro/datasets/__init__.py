@@ -21,6 +21,7 @@ from repro.datasets.stocks import (
     calibrate_correlation_threshold,
     generate_stock_stream,
 )
+from repro.datasets.trips import TRIP_TYPES, TripConfig, generate_trip_stream
 
 __all__ = [
     "ArrivalProcess",
@@ -41,4 +42,7 @@ __all__ = [
     "StockConfig",
     "calibrate_correlation_threshold",
     "generate_stock_stream",
+    "TRIP_TYPES",
+    "TripConfig",
+    "generate_trip_stream",
 ]

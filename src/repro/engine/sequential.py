@@ -543,5 +543,8 @@ class SequentialEngine:
 
 
 def detect(pattern: Pattern, events: Iterable[Event]) -> list[Match]:
-    """One-shot convenience: run the sequential engine over *events*."""
-    return list(SequentialEngine(pattern).run(events))
+    """One-shot convenience: run the sequential engine over *events* and
+    apply the pattern's selection/consumption policies."""
+    from repro.core.policies import resolve_matches
+
+    return resolve_matches(pattern, SequentialEngine(pattern).run(events))

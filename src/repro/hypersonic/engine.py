@@ -26,6 +26,7 @@ from repro.core.streams import as_source
 from repro.core.matches import Match
 from repro.core.nfa import ChainNFA, compile_pattern
 from repro.core.patterns import Operator, Pattern
+from repro.core.policies import resolve_matches
 from repro.control.planning import plan_build
 from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.costmodel.statistics import estimate_statistics
@@ -283,6 +284,7 @@ class HypersonicEngine:
                 f"pipeline stalled with items in flight at: {stuck}; "
                 "check role assignments cover both streams of every agent"
             )
+        self._matches = resolve_matches(self.pattern, self._matches)
         self.metrics.matches_emitted = len(self._matches)
         self.metrics.unit_hops = sum(unit.hops for unit in self.units)
         self.metrics.per_agent_items = [

@@ -31,6 +31,7 @@ from repro.core.events import Event, validate_stream_order
 from repro.core.matches import Match, PartialMatch
 from repro.core.nfa import compile_pattern
 from repro.core.patterns import Operator, Pattern
+from repro.core.policies import resolve_matches
 from repro.hypersonic.agent import AgentCore
 from repro.hypersonic.items import ItemKind, WorkItem
 
@@ -218,7 +219,7 @@ class ThreadedPipelineEngine:
                 raise EngineError("threaded pipeline did not drain in time")
         if failures:
             raise failures[0]
-        return matches
+        return resolve_matches(self.pattern, matches)
 
     # ------------------------------------------------------------------ #
 

@@ -38,6 +38,7 @@ from repro.control import ControlPlane, LoadShedder, ReplanDecision
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
+from repro.core.policies import resolve_matches
 from repro.costmodel.model import CostParameters, WorkloadStatistics
 from repro.hypersonic.agent import AgentCore
 from repro.hypersonic.buffers import BufferSnapshot
@@ -218,6 +219,10 @@ class HypersonicSimulation:
             break
 
         total_time = kernel.total_time()
+        # Terminal policy resolution (identity for default patterns): the
+        # simulated chain enumerates the skip-till-any set; the pattern's
+        # selection/consumption policies refine it once per run.
+        self._matches = resolve_matches(engine.pattern, self._matches)
         if self.tracer.enabled:
             self._sample_queues(total_time)
         extra_control: dict = {}

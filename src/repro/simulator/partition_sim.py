@@ -36,6 +36,7 @@ from typing import Iterable, Sequence
 from repro.core.events import Event
 from repro.core.matches import Match
 from repro.core.patterns import Pattern
+from repro.core.policies import resolve_matches
 from repro.costmodel.model import CostParameters
 from repro.baselines.partitioned import Partition, PartitionSpan, PartitionedEngine
 from repro.engine.sequential import SequentialEngine
@@ -264,7 +265,8 @@ def simulate_partitioned(
         task(run, cost, inject, closing, kind="close")
 
     kernel.now = inject
-    dedup = {match.key for match in matches}
+    resolved = resolve_matches(engine.pattern, matches)
+    dedup = {match.key for match in resolved}
     return kernel.finish(
         strategy=name,
         events=events_seen,

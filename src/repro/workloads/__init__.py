@@ -8,6 +8,9 @@ from repro.workloads.queries import (
     stock_kleene_query,
     stock_negation_query,
     stock_sequence_query,
+    trip_chain_query,
+    trip_negation_query,
+    trip_sequence_query,
 )
 
 __all__ = [
@@ -18,4 +21,7 @@ __all__ = [
     "stock_kleene_query",
     "stock_negation_query",
     "stock_sequence_query",
+    "trip_chain_query",
+    "trip_negation_query",
+    "trip_sequence_query",
 ]

@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.core.conditions import (
     AndCondition,
+    AttributeCondition,
     Condition,
     CorrelationCondition,
     PairwiseCondition,
@@ -43,6 +44,9 @@ __all__ = [
     "sensor_sequence_query",
     "sensor_kleene_query",
     "sensor_negation_query",
+    "trip_sequence_query",
+    "trip_chain_query",
+    "trip_negation_query",
 ]
 
 
@@ -199,6 +203,91 @@ def _sensor_conditions(
             )
         )
     return AndCondition(tuple(conditions)), tuple(margins)
+
+
+# --------------------------------------------------------------------- #
+# Bike trips (Q_C*)                                                      #
+# --------------------------------------------------------------------- #
+
+
+def _same_bike(positions: Sequence[str]) -> Condition:
+    """Equality join on the partition key: every position, same bike."""
+    first = positions[0]
+    return AndCondition(tuple(
+        AttributeCondition(first, "bike", "==", other, "bike")
+        for other in positions[1:]
+    ))
+
+
+def trip_sequence_query(
+    window: float,
+    name: str = "Q_C1",
+    selection: str | None = None,
+    consumption: str | None = None,
+) -> QuerySpec:
+    """Q_C1: plain ``SEQ(start, ride, end)`` on one bike (no Kleene)."""
+    pattern = Pattern.sequence(
+        ["start", "ride", "end"],
+        window=window,
+        condition=_same_bike(("p1", "p2", "p3")),
+        name=name,
+        **_policy_kwargs(selection, consumption),
+    )
+    return QuerySpec(pattern=pattern, thresholds=(), template="Q_C1")
+
+
+def trip_chain_query(
+    window: float,
+    name: str = "Q_C2",
+    selection: str | None = None,
+    consumption: str | None = None,
+) -> QuerySpec:
+    """Q_C2: the natural trip chain ``SEQ(start, ride+, end)``.
+
+    The Kleene position binds the trip's ride pings; the equality join on
+    ``bike`` is checked per appended ping (self-loop edge condition), so
+    chains of different bikes never mix even when interleaved.
+    """
+    pattern = Pattern.sequence(
+        ["start", "ride", "end"],
+        window=window,
+        condition=_same_bike(("p1", "p2", "p3")),
+        kleene=[1],
+        name=name,
+        **_policy_kwargs(selection, consumption),
+    )
+    return QuerySpec(pattern=pattern, thresholds=(), template="Q_C2")
+
+
+def trip_negation_query(
+    window: float,
+    name: str = "Q_C3",
+    selection: str | None = None,
+    consumption: str | None = None,
+) -> QuerySpec:
+    """Q_C3: ``SEQ(start, !end, start)`` on one bike — a bike rented
+    again with no recorded return in between (the dropout detector)."""
+    pattern = Pattern.sequence(
+        ["start", "end", "start"],
+        window=window,
+        names=["p1", "p2", "p3"],
+        condition=_same_bike(("p1", "p2", "p3")),
+        negated=[1],
+        name=name,
+        **_policy_kwargs(selection, consumption),
+    )
+    return QuerySpec(pattern=pattern, thresholds=(), template="Q_C3")
+
+
+def _policy_kwargs(
+    selection: str | None, consumption: str | None
+) -> dict:
+    kwargs = {}
+    if selection is not None:
+        kwargs["selection"] = selection
+    if consumption is not None:
+        kwargs["consumption"] = consumption
+    return kwargs
 
 
 def sensor_sequence_query(

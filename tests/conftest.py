@@ -68,7 +68,9 @@ def trailing_negation_pattern() -> Pattern:
 
 
 def reference_matches(pattern: Pattern, events) -> list:
-    """Ground-truth matches via the sequential engine (incl. close())."""
+    """Ground-truth matches via the sequential engine (incl. close() and
+    the pattern's selection/consumption policies)."""
+    from repro.core.policies import resolve_matches
     from repro.engine import SequentialEngine
 
     engine = SequentialEngine(pattern)
@@ -76,4 +78,4 @@ def reference_matches(pattern: Pattern, events) -> list:
     for event in events:
         matches.extend(engine.process(event))
     matches.extend(engine.close())
-    return matches
+    return resolve_matches(pattern, matches)

@@ -14,6 +14,13 @@ before committing:
   verified by generating this file from the pre-refactor seed and
   asserting bit-identical results afterwards; keeping the file frozen
   extends that guarantee to all later PRs.
+* ``trips`` — ``trip_chain_goldens.json``: every strategy's SimResult on
+  the trip-chain Kleene workload (``SEQ(start, ride+, end)`` over the
+  CitiBike-style dataset).  A separate file from ``sim_goldens.json`` on
+  purpose: the richer pattern language is strictly additive, so the
+  legacy goldens must stay byte-identical — ``--which sim`` *raises* if
+  regenerating them would change the committed bytes (pass
+  ``--force-sim`` after an intentional behaviour change).
 * ``trace`` — ``golden_chrome_trace.json``: the Chrome ``trace_event``
   export of the tiny traced workload (``tests/test_obs.tiny_trace``).  A
   diff means the exporter format or the simulator's traced behaviour
@@ -45,6 +52,12 @@ NUM_EVENTS = 600
 STREAM_SEED = 31
 NUM_CORES = 4
 
+TRIP_GOLDEN_PATH = DATA_DIR / "trip_chain_goldens.json"
+TRIP_WINDOW = 4.0
+TRIP_NUM_TRIPS = 80
+TRIP_NUM_BIKES = 8
+TRIP_SEED = 13
+
 
 def golden_workload():
     from tests.conftest import make_stream
@@ -56,6 +69,20 @@ def golden_pattern():
     from repro.core import Pattern
 
     return Pattern.sequence(PATTERN_TYPES, window=PATTERN_WINDOW)
+
+
+def trip_workload():
+    from repro.datasets.trips import TripConfig, generate_trip_stream
+
+    return list(generate_trip_stream(TripConfig(
+        num_trips=TRIP_NUM_TRIPS, num_bikes=TRIP_NUM_BIKES, seed=TRIP_SEED,
+    )))
+
+
+def trip_pattern():
+    from repro.workloads.queries import trip_chain_query
+
+    return trip_chain_query(TRIP_WINDOW).pattern
 
 
 def result_payload(result) -> dict:
@@ -118,12 +145,56 @@ def collect() -> dict:
     return goldens
 
 
-def write_sim_goldens() -> None:
+def collect_trip_chain() -> dict:
+    from repro.simulator import STRATEGIES, simulate
+
+    pattern = trip_pattern()
+    events = trip_workload()
+    goldens: dict = {"closed_loop": {}}
+    counts = set()
+    for strategy in STRATEGIES:
+        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        result = simulate(
+            strategy, pattern, events, num_cores=NUM_CORES, **kwargs
+        )
+        goldens["closed_loop"][strategy] = result_payload(result)
+        counts.add(result.matches)
+    if len(counts) != 1 or 0 in counts:
+        raise RuntimeError(
+            f"trip-chain strategies disagree or found nothing: {counts}"
+        )
+    return goldens
+
+
+def _serialize(goldens: dict) -> str:
+    return json.dumps(goldens, indent=1, sort_keys=True) + "\n"
+
+
+def write_sim_goldens(force: bool = False) -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
-        json.dump(collect(), handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    payload = _serialize(collect())
+    # The legacy goldens predate the richer pattern language; Kleene and
+    # negation are strictly opt-in, so regenerating this file must be a
+    # byte-level no-op.  Raise on drift instead of silently rewriting.
+    if GOLDEN_PATH.exists() and not force:
+        committed = GOLDEN_PATH.read_text(encoding="utf-8")
+        if committed != payload:
+            raise RuntimeError(
+                f"regenerating {GOLDEN_PATH} would change its bytes; the "
+                "default workload must be unaffected by pattern-language "
+                "extensions.  Re-run with --force-sim if the change is "
+                "intentional."
+            )
+    GOLDEN_PATH.write_text(payload, encoding="utf-8")
     print(f"wrote {GOLDEN_PATH}")
+
+
+def write_trip_goldens() -> None:
+    TRIP_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    TRIP_GOLDEN_PATH.write_text(
+        _serialize(collect_trip_chain()), encoding="utf-8"
+    )
+    print(f"wrote {TRIP_GOLDEN_PATH}")
 
 
 def write_trace_golden() -> None:
@@ -193,13 +264,21 @@ def write_dashboard_golden() -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--which", choices=("sim", "trace", "report", "dashboard", "all"),
+        "--which",
+        choices=("sim", "trips", "trace", "report", "dashboard", "all"),
         default="all",
         help="which golden set to regenerate (default: all)",
     )
-    which = parser.parse_args().which
+    parser.add_argument(
+        "--force-sim", action="store_true",
+        help="allow --which sim to rewrite sim_goldens.json on drift",
+    )
+    args = parser.parse_args()
+    which = args.which
     if which in ("sim", "all"):
-        write_sim_goldens()
+        write_sim_goldens(force=args.force_sim)
+    if which in ("trips", "all"):
+        write_trip_goldens()
     if which in ("trace", "all"):
         write_trace_golden()
     if which in ("report", "all"):

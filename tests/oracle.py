@@ -1,0 +1,247 @@
+"""Brute-force reference oracle for flat SEQ patterns.
+
+Evaluates a pattern *by definition*: enumerate every in-window, stream-
+ordered assignment of events to positive positions (single events for
+primary positions, non-empty tuples for Kleene positions), check every
+condition at its defining position, veto bindings with a qualifying
+negated event between the relevant neighbours, then apply the selection
+and consumption policies as literal set refinements.
+
+Deliberately shares no code with any engine: no NFA, no pools, no
+buffers, no imports from ``repro.engine``/``repro.hypersonic``/
+``repro.core.nfa``/``repro.core.policies``.  Only the data model (events,
+the pattern description) is common, plus the documented semantics:
+
+* SEQ order is strict ``(timestamp, event_id)`` order between consecutive
+  bound events; a Kleene tuple is internally stream-ordered.
+* A condition is checked at the latest positive position it reads.  If
+  that position is Kleene, it must hold for **every** tuple element
+  individually (the self-loop edge condition), with the position bound to
+  that element; Kleene positions read by later conditions are reduced to
+  their **last** element (the representative rule of
+  ``repro.core.conditions``).
+* A negated position vetoes a binding when an event of its type falls
+  strictly between its neighbouring bound events (or, trailing, within
+  ``earliest + window``) and satisfies the conditions reading it.
+* skip-till-next-match keeps, per stage-0 seed event, only the match with
+  the lexicographically smallest per-stage binding sequence; consume-on-
+  match greedily retires events in canonical detection order.
+
+The differential suite compares this oracle's match keys against every
+engine; the keys use the same canonical shape as
+``repro.core.matches.match_key`` (position-sorted, event ids only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.events import Event
+from repro.core.patterns import (
+    ConsumptionPolicy,
+    ItemKind,
+    Operator,
+    Pattern,
+    SelectionPolicy,
+)
+
+__all__ = ["oracle_matches", "oracle_keys"]
+
+
+def _order(event: Event) -> tuple[float, int]:
+    return (event.timestamp, event.event_id)
+
+
+def _representative(binding: dict, name: str):
+    bound = binding[name]
+    return bound[-1] if isinstance(bound, tuple) else bound
+
+
+def _passes(conjunct, binding: dict) -> bool:
+    probe = {
+        name: _representative(binding, name)
+        for name in conjunct.depends_on()
+        if name in binding
+    }
+    return conjunct.evaluate(probe)
+
+
+def oracle_matches(pattern: Pattern, events: Iterable[Event]) -> list[dict]:
+    """All matches of *pattern* over *events*, as position->binding dicts."""
+    if pattern.operator is not Operator.SEQ:
+        raise ValueError("the oracle evaluates flat SEQ patterns")
+    stream = sorted(events, key=_order)
+    window = pattern.window
+    positives = [i for i in pattern.items if i.kind is not ItemKind.NEGATED]
+    names = [item.name for item in positives]
+    position_of = {item.name: index for index, item in enumerate(positives)}
+    by_type: dict[str, list[Event]] = {}
+    for event in stream:
+        by_type.setdefault(event.type.name, []).append(event)
+
+    # Place each conjunct at the latest positive position it reads; those
+    # reading a negated position are checked inside the negation veto.
+    negated_names = {item.name for item in pattern.items if item.is_negated}
+    kleene_names = {item.name for item in positives if item.is_kleene}
+    placed: dict[int, list] = {index: [] for index in range(len(positives))}
+    guard_conjuncts: dict[str, list] = {name: [] for name in negated_names}
+    closure_conjuncts: list = []
+    for conjunct in pattern.conjuncts():
+        deps = conjunct.depends_on()
+        negated_deps = deps & negated_names
+        if negated_deps:
+            guard_conjuncts[next(iter(negated_deps))].append(conjunct)
+        elif (getattr(conjunct, "evaluate_on_closure", False)
+                and deps & kleene_names):
+            # Aggregates over a Kleene tuple: only meaningful on the
+            # completed binding, checked below with the raw tuples.
+            closure_conjuncts.append(conjunct)
+        elif deps:
+            placed[max(position_of[name] for name in deps)].append(conjunct)
+
+    def element_ok(index: int, binding: dict, event: Event) -> bool:
+        """Conditions at position *index* with *event* bound there alone."""
+        probe = dict(binding)
+        probe[names[index]] = event
+        return all(_passes(c, probe) for c in placed[index])
+
+    def vetoed(binding: dict) -> bool:
+        earliest = min(
+            _order(_first(binding[name])) for name in names
+        )[0]
+        for slot, item in enumerate(pattern.items):
+            if not item.is_negated:
+                continue
+            prev_item = next(
+                it for it in reversed(pattern.items[:slot])
+                if not it.is_negated
+            )
+            following = [
+                it for it in pattern.items[slot + 1:] if not it.is_negated
+            ]
+            low = _order(_representative(binding, prev_item.name))
+            high = (
+                _order(_first(binding[following[0].name]))
+                if following else None
+            )
+            for candidate in by_type.get(item.event_type.name, ()):
+                if _order(candidate) <= low:
+                    continue
+                if high is not None and _order(candidate) >= high:
+                    continue
+                if high is None and candidate.timestamp > earliest + window:
+                    continue
+                probe = dict(binding)
+                probe[item.name] = candidate
+                if all(_passes(c, probe) for c in guard_conjuncts[item.name]):
+                    return True
+        return False
+
+    results: list[dict] = []
+
+    def extend(index: int, binding: dict,
+               last: tuple[float, int] | None, earliest: float) -> None:
+        if index == len(positives):
+            if all(
+                conjunct.evaluate(binding) for conjunct in closure_conjuncts
+            ) and not vetoed(binding):
+                results.append(binding)
+            return
+        item = positives[index]
+        pool = by_type.get(item.event_type.name, [])
+        if item.is_kleene:
+            def grow(start: int, chunk: tuple, last2, earliest2) -> None:
+                for k in range(start, len(pool)):
+                    event = pool[k]
+                    if last2 is not None and _order(event) <= last2:
+                        continue
+                    base = earliest2 if earliest2 is not None else event.timestamp
+                    if event.timestamp - base > window:
+                        break  # later pool events only stretch further
+                    if not element_ok(index, binding, event):
+                        continue
+                    grown = chunk + (event,)
+                    next_binding = dict(binding)
+                    next_binding[item.name] = grown
+                    extend(index + 1, next_binding, _order(event), base)
+                    grow(k + 1, grown, _order(event), base)
+            grow(0, (), last, earliest)
+        else:
+            for event in pool:
+                if last is not None and _order(event) <= last:
+                    continue
+                base = earliest if earliest is not None else event.timestamp
+                if event.timestamp - base > window:
+                    break
+                if not element_ok(index, binding, event):
+                    continue
+                next_binding = dict(binding)
+                next_binding[item.name] = event
+                extend(index + 1, next_binding, _order(event), base)
+
+    extend(0, {}, None, None)
+    return _apply_policies(pattern, names, results)
+
+
+def _first(bound):
+    return bound[0] if isinstance(bound, tuple) else bound
+
+
+def _stage_sequence(binding: dict, names: Sequence[str]):
+    out = []
+    for name in names:
+        bound = binding[name]
+        if isinstance(bound, tuple):
+            out.append(tuple(_order(event) for event in bound))
+        else:
+            out.append((_order(bound),))
+    return tuple(out)
+
+
+def _apply_policies(pattern: Pattern, names: Sequence[str],
+                    results: list[dict]) -> list[dict]:
+    if pattern.selection is SelectionPolicy.SKIP_TILL_NEXT:
+        best: dict = {}
+        for binding in results:
+            seq = _stage_sequence(binding, names)
+            seed = seq[0][0]
+            if seed not in best or seq < best[seed][0]:
+                best[seed] = (seq, binding)
+        results = [entry[1] for entry in best.values()]
+    if pattern.consumption is ConsumptionPolicy.CONSUME:
+        def detection(binding: dict):
+            seq = _stage_sequence(binding, names)
+            return (max(pair for stage in seq for pair in stage), seq)
+        consumed: set[int] = set()
+        accepted = []
+        for binding in sorted(results, key=detection):
+            ids = set()
+            for name in names:
+                bound = binding[name]
+                ids |= (
+                    {event.event_id for event in bound}
+                    if isinstance(bound, tuple) else {bound.event_id}
+                )
+            if ids & consumed:
+                continue
+            consumed |= ids
+            accepted.append(binding)
+        results = accepted
+    return results
+
+
+def oracle_keys(pattern: Pattern, events: Iterable[Event]) -> set[tuple]:
+    """Canonical match keys (the ``match_key`` shape) of the oracle set."""
+    keys = set()
+    for binding in oracle_matches(pattern, events):
+        parts = []
+        for position in sorted(binding):
+            bound = binding[position]
+            if isinstance(bound, tuple):
+                parts.append(
+                    (position, tuple(event.event_id for event in bound))
+                )
+            else:
+                parts.append((position, bound.event_id))
+        keys.add(tuple(parts))
+    return keys

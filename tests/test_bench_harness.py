@@ -13,6 +13,7 @@ from repro.bench import (
     shifted_stock_events,
     skewed_stock_events,
     stock_events,
+    trip_events,
 )
 
 SMALL = BenchScale(num_events=800, seed=5)
@@ -30,6 +31,15 @@ class TestDatasetsBuilders:
         events = sensor_events(SMALL)
         assert len(events) == 800
         assert "distance_kitchen" in events[0].attributes
+
+    def test_trip_events_sized_off_the_event_budget(self):
+        first = trip_events(SMALL)
+        second = trip_events(SMALL)
+        assert first[0].event_id == second[0].event_id  # same cached events
+        # ~5 events per trip (start, geometric rides, end), 160 trips.
+        assert 320 <= len(first) <= 1600
+        assert {e.type.name for e in first} == {"start", "ride", "end"}
+        assert "bike" in first[0].attributes
 
     def test_shifted_events_in_order_with_rate_shift(self):
         events = shifted_stock_events(SMALL)
@@ -62,6 +72,22 @@ class TestBuildQuery:
         events = sensor_events(SMALL)
         spec = build_query("sensors", "seq", 3, 20.0, events, SMALL)
         assert spec.pattern.length == 3
+
+    def test_trip_templates(self):
+        events = trip_events(SMALL)
+        for template, has_kleene, has_negation in [
+            ("seq", False, False),
+            ("kleene", True, False),
+            ("negation", False, True),
+        ]:
+            spec = build_query("trips", template, 3, 4.0, events, SMALL)
+            assert spec.pattern.window == 4.0
+            assert any(i.is_kleene for i in spec.pattern.items) == has_kleene
+            assert (
+                any(i.is_negated for i in spec.pattern.items) == has_negation
+            )
+        with pytest.raises(ValueError):
+            build_query("trips", "zigzag", 3, 4.0, events, SMALL)
 
     def test_unknown_inputs(self):
         events = stock_events(SMALL)

@@ -28,8 +28,8 @@ class TestRunBench:
         assert snapshot["quick"] is True
         assert set(snapshot["scenarios"]) == {
             "fig7_throughput", "sensors_throughput", "batched_throughput",
-            "skewed_throughput", "shifted_throughput", "adaptation_recall",
-            "recall_latency_frontier", "fig8_latency",
+            "kleene_throughput", "skewed_throughput", "shifted_throughput",
+            "adaptation_recall", "recall_latency_frontier", "fig8_latency",
         }
         fig7 = snapshot["scenarios"]["fig7_throughput"]["strategies"]
         assert set(fig7) == {
@@ -94,7 +94,7 @@ class TestRunBench:
     def test_frontier_scenario_sweeps_bounds_monotonically(self, snapshot):
         from repro.bench.regression import SNAPSHOT_SCHEMA
 
-        assert snapshot["schema"] == SNAPSHOT_SCHEMA == 5
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA == 6
         frontier = snapshot["scenarios"]["recall_latency_frontier"]
         assert frontier["reference_matches"] > 0
         bounds = frontier["bounds"]
@@ -127,6 +127,27 @@ class TestRunBench:
             counts.add(cell["matches"])
         assert len(counts) == 1  # every strategy found the same matches
 
+    def test_kleene_scenario_pins_the_closure_path(self, snapshot):
+        kleene = snapshot["scenarios"]["kleene_throughput"]
+        assert kleene["dataset"] == "trips"
+        assert kleene["template"] == "kleene"
+        assert set(kleene["strategies"]) == {
+            "sequential", "hypersonic", "state", "rip", "llsf",
+        }
+        counts = set()
+        for cell in kleene["strategies"].values():
+            assert cell["throughput"] > 0
+            assert cell["matches"] > 0
+            counts.add(cell["matches"])
+        assert len(counts) == 1  # the differential gate across strategies
+        # The recorded length distribution describes exactly the benched
+        # match set, and the closure genuinely produces long bindings.
+        lengths = kleene["kleene_lengths"]
+        assert sum(lengths.values()) == counts.pop()
+        assert all(int(key) >= 1 and count > 0
+                   for key, count in lengths.items())
+        assert max(int(key) for key in lengths) >= 3
+
     def test_identical_rerun_is_bit_identical_and_compares_clean(
         self, snapshot
     ):
@@ -136,9 +157,9 @@ class TestRunBench:
         assert report["ok"] is True
         assert report["regressions"] == []
         assert report["improvements"] == []
-        # 5 fig7 + 5 sensors + 2 batched + 5 skewed + 5 shifted
-        # + 3 adaptation + 4 frontier + 4 fig8 cells
-        assert report["compared"] == 33
+        # 5 fig7 + 5 sensors + 2 batched + 5 kleene + 5 skewed
+        # + 5 shifted + 3 adaptation + 4 frontier + 4 fig8 cells
+        assert report["compared"] == 38
         assert report["skipped"] == []
 
     def test_tuned_parameters_add_a_row_per_throughput_scenario(self):
@@ -231,7 +252,7 @@ class TestCompare:
         del partial["scenarios"]["fig7_throughput"]["strategies"]["llsf"]
         report = compare_snapshots(partial, snapshot)
         # All cells minus the dropped fig8 scenario (4) and llsf cell (1).
-        assert report["compared"] == 28
+        assert report["compared"] == 33
         assert len(report["skipped"]) == 2
 
     def test_schema_1_baseline_compares_shared_scenarios(self, snapshot):
@@ -244,7 +265,7 @@ class TestCompare:
         report = compare_snapshots(old, snapshot)
         assert report["ok"] is True
         # All cells minus the 5 sensors ones (skipped: no baseline).
-        assert report["compared"] == 28
+        assert report["compared"] == 33
         assert any("schema 1" in note for note in report["skipped"])
         assert any("sensors_throughput" in note
                    for note in report["skipped"])

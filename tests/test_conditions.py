@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core import (
+    KLEENE_REDUCTIONS,
+    AggregateCondition,
     AndCondition,
     AttributeCondition,
     ConditionError,
@@ -12,8 +14,11 @@ from repro.core import (
     NotCondition,
     OrCondition,
     PairwiseCondition,
+    Pattern,
+    PatternError,
     TrueCondition,
     UnaryCondition,
+    kleene_representative,
     pearson_correlation,
 )
 
@@ -118,6 +123,146 @@ class TestCorrelationCondition:
         cond = CorrelationCondition("a", "b", threshold=0.9)
         assert cond.evaluate({"a": high, "b": also_high})
         assert not cond.evaluate({"a": high, "b": low})
+
+
+class TestKleeneReduction:
+    """Regression: the old ``_first_event`` helper silently took the *last*
+    tuple element.  The reduction is now an explicit, validated choice."""
+
+    def test_reductions_enumerated(self):
+        assert KLEENE_REDUCTIONS == ("first", "last", "strict")
+
+    def test_representative_first_and_last(self):
+        first, last = ev(0, x=1), ev(1, x=9)
+        assert kleene_representative((first, last), "first") is first
+        assert kleene_representative((first, last), "last") is last
+        assert kleene_representative((first, last)) is last  # default
+
+    def test_representative_passthrough_for_single_event(self):
+        event = ev(0, x=1)
+        for reduce in KLEENE_REDUCTIONS:
+            assert kleene_representative(event, reduce) is event
+
+    def test_strict_refuses_tuples(self):
+        with pytest.raises(ConditionError, match="ambiguous"):
+            kleene_representative((ev(0), ev(1)), "strict")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ConditionError):
+            kleene_representative(ev(0), "median")
+        with pytest.raises(ConditionError):
+            UnaryCondition("p1", lambda e: True, reduce="median")
+
+    def test_unary_first_reduction(self):
+        cond = UnaryCondition("p1", lambda e: e["x"] == 1, reduce="first")
+        binding = {"p1": (ev(0, x=1), ev(1, x=9))}
+        assert cond.evaluate(binding)
+
+    def test_attribute_condition_reduction_choice(self):
+        binding = {
+            "a": (ev(0, v=1), ev(1, v=5)),
+            "b": ev(2, v=3),
+        }
+        last = AttributeCondition("a", "v", "<", "b", "v")
+        first = AttributeCondition("a", "v", "<", "b", "v", reduce="first")
+        assert not last.evaluate(binding)  # 5 < 3 is False
+        assert first.evaluate(binding)  # 1 < 3
+
+    def test_strict_condition_raises_on_tuple_binding(self):
+        cond = PairwiseCondition(
+            "a", "b", lambda x, y: True, reduce="strict"
+        )
+        assert cond.evaluate({"a": ev(0), "b": ev(1)})
+        with pytest.raises(ConditionError, match="ambiguous"):
+            cond.evaluate({"a": (ev(0), ev(1)), "b": ev(2)})
+
+    def test_strict_over_kleene_position_rejected_at_pattern_build(self):
+        cond = AttributeCondition("p2", "x", "<=", "p3", "x", reduce="strict")
+        with pytest.raises(PatternError, match="ambiguous"):
+            Pattern.sequence(
+                ["A", "B", "C"], window=5.0, kleene=[1], condition=cond
+            )
+        # The same condition is fine when no Kleene position is involved.
+        Pattern.sequence(["A", "B", "C"], window=5.0, condition=cond)
+
+
+class TestAggregateCondition:
+    def test_aggregates_over_tuple(self):
+        binding = {"p": (ev(0, x=1), ev(1, x=4), ev(2, x=3))}
+        assert AggregateCondition("p", "sum", "==", 8, "x").evaluate(binding)
+        assert AggregateCondition("p", "max", "==", 4, "x").evaluate(binding)
+        assert AggregateCondition("p", "min", "==", 1, "x").evaluate(binding)
+        assert AggregateCondition("p", "avg", ">", 2.5, "x").evaluate(binding)
+        assert AggregateCondition("p", "first", "==", 1, "x").evaluate(binding)
+        assert AggregateCondition("p", "last", "==", 3, "x").evaluate(binding)
+
+    def test_count_ignores_attribute(self):
+        binding = {"p": (ev(0), ev(1))}
+        assert AggregateCondition("p", "count", ">=", 2).evaluate(binding)
+        assert not AggregateCondition("p", "count", ">", 2).evaluate(binding)
+
+    def test_single_event_degenerates(self):
+        binding = {"p": ev(0, x=7)}
+        assert AggregateCondition("p", "sum", "==", 7, "x").evaluate(binding)
+        assert AggregateCondition("p", "count", "==", 1).evaluate(binding)
+
+    def test_validation(self):
+        with pytest.raises(ConditionError):
+            AggregateCondition("p", "median", "==", 1, "x")
+        with pytest.raises(ConditionError):
+            AggregateCondition("p", "sum", "~", 1, "x")
+        with pytest.raises(ConditionError):
+            AggregateCondition("p", "sum", "==", 1)  # needs an attribute
+
+    def test_missing_attribute_raises(self):
+        cond = AggregateCondition("p", "sum", "==", 1, "nope")
+        with pytest.raises(ConditionError):
+            cond.evaluate({"p": (ev(0, x=1),)})
+
+    def test_empty_tuple_raises(self):
+        cond = AggregateCondition("p", "count", "==", 0)
+        with pytest.raises(ConditionError):
+            cond.evaluate({"p": ()})
+
+    def test_depends_on(self):
+        cond = AggregateCondition("p", "count", ">=", 2)
+        assert cond.depends_on() == frozenset({"p"})
+
+    def test_kept_off_stages_and_applied_at_closure(self):
+        from repro.core import compile_pattern
+
+        cond = AggregateCondition("p2", "count", ">=", 2)
+        pattern = Pattern.sequence(
+            ["A", "B", "C"], window=10.0, kleene=[1], condition=cond
+        )
+        assert pattern.closure_conjuncts() == (cond,)
+        assert pattern.stage_conjuncts() == ()
+        nfa = compile_pattern(pattern)
+        assert all(stage.conditions == () for stage in nfa.stages)
+
+    def test_filters_completed_matches(self):
+        from tests.conftest import reference_matches
+
+        B_type = EventType("B")
+        C_type = EventType("C")
+        events = [
+            Event(A, 0.0, {"x": 0}),
+            Event(B_type, 1.0, {"x": 1}),
+            Event(B_type, 2.0, {"x": 2}),
+            Event(C_type, 3.0, {"x": 3}),
+        ]
+        base = Pattern.sequence(["A", "B", "C"], window=10.0, kleene=[1])
+        # Skip-till-any over two B events: tuples (b1), (b2), (b1, b2).
+        assert len(reference_matches(base, events)) == 3
+        pattern = Pattern.sequence(
+            ["A", "B", "C"],
+            window=10.0,
+            kleene=[1],
+            condition=AggregateCondition("p2", "count", ">=", 2),
+        )
+        matches = reference_matches(pattern, events)
+        assert len(matches) == 1
+        assert len(matches[0].binding["p2"]) == 2
 
 
 class TestCombinators:

@@ -614,3 +614,38 @@ class TestRunnerValidation:
             simulate(strategy, pattern, [], num_cores=2, adapt="on")
         with pytest.raises(SimulationError):
             simulate(strategy, pattern, [], num_cores=2, shed_bound=4)
+
+
+class TestNegationGuardShedding:
+    """The shedder must never starve a negation guard, end to end.
+
+    Unit coverage of ``guard_types`` lives in :class:`TestLoadShedder`;
+    this exercises the real wiring — a compiled NEG pattern's guards flow
+    from :class:`~repro.core.nfa.ChainNFA` through the simulated agents
+    into the shedder's exempt set without any manual configuration.
+    """
+
+    @pytest.fixture(scope="class")
+    def shed_run(self):
+        pattern = Pattern.sequence(
+            ["A", "X", "C"], window=6.0,
+            names=["p1", "p2", "p3"], negated=[1],
+        )
+        events = make_stream(num_events=800, seed=5)
+        return pattern, simulate(
+            "hypersonic", pattern, events, num_cores=4,
+            shed_bound=1, shed_policy="pattern",
+        )
+
+    def test_shedding_engaged(self, shed_run):
+        _, result = shed_run
+        assert result.extra["shed"]["total"] > 0
+
+    def test_negated_type_never_shed(self, shed_run):
+        _, result = shed_run
+        assert "X" not in result.extra["shed"]["by_type"]
+
+    def test_positive_types_carry_the_cuts(self, shed_run):
+        pattern, result = shed_run
+        positive = {item.event_type.name for item in pattern.items}
+        assert set(result.extra["shed"]["by_type"]) <= positive

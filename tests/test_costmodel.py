@@ -9,11 +9,14 @@ from repro.costmodel import (
     LoadModel,
     WorkloadStatistics,
     average_match_sizes,
+    estimate_statistics,
+    kleene_binding_multiplicities,
     kleene_match_rate,
     match_arrival_rates,
     output_rates,
     proportional_allocation,
 )
+from tests.conftest import make_stream
 
 
 def stats3(rates=(1.0, 1.0, 1.0), sels=(1.0, 0.1, 0.1)):
@@ -216,3 +219,137 @@ class TestCostParameters:
     def test_defaults_ordered(self):
         costs = CostParameters()
         assert costs.comparison > costs.lock > costs.queue_push
+
+
+class TestKleeneBindingMultiplicities:
+    def test_all_ones_without_kleene_stages(self):
+        assert kleene_binding_multiplicities(stats3(), window=2.0) == [
+            1.0,
+            1.0,
+            1.0,
+        ]
+
+    def test_kleene_stage_exceeds_one(self):
+        stats = stats3(rates=(1.0, 4.0, 1.0), sels=(1.0, 0.5, 0.5))
+        mult = kleene_binding_multiplicities(stats, 2.0, frozenset({1}))
+        assert mult[0] == 1.0
+        assert mult[2] == 1.0
+        assert mult[1] > 1.0
+
+    def test_grows_with_window(self):
+        stats = stats3(rates=(1.0, 4.0, 1.0), sels=(1.0, 0.5, 0.5))
+        small = kleene_binding_multiplicities(stats, 1.0, frozenset({1}))[1]
+        large = kleene_binding_multiplicities(stats, 4.0, frozenset({1}))[1]
+        assert large > small
+
+    def test_first_stage_out_of_chain_model(self):
+        # Stage 0 cannot be a Kleene stage in the agent-chain model; the
+        # helper ignores it rather than producing a bogus factor.
+        mult = kleene_binding_multiplicities(stats3(), 2.0, frozenset({0}))
+        assert mult == [1.0, 1.0, 1.0]
+
+    def test_never_below_one(self):
+        # Sparse closures (expected tuple length < 1 extension) clamp to
+        # the primary-stage baseline instead of discounting the stage.
+        stats = stats3(rates=(1.0, 0.05, 1.0), sels=(1.0, 0.05, 0.5))
+        mult = kleene_binding_multiplicities(stats, 0.5, frozenset({1}))
+        assert mult[1] == 1.0
+
+    def test_scales_closed_form_comp(self):
+        # Pin arrival rates via measured match_rates so the only delta
+        # between the two models is the multiplicity factor itself.
+        stats = WorkloadStatistics(
+            rates=(1.0, 4.0, 1.0),
+            selectivities=(1.0, 0.5, 0.5),
+            match_rates=(2.0, 1.0, 0.5),
+        )
+        plain = LoadModel(window=2.0, stats=stats, costs=CostParameters())
+        closed = LoadModel(
+            window=2.0,
+            stats=stats,
+            costs=CostParameters(),
+            kleene_stages=frozenset({1}),
+        )
+        mult = kleene_binding_multiplicities(stats, 2.0, frozenset({1}))
+        assert closed.agent_loads(4)[0].comp == pytest.approx(
+            plain.agent_loads(4)[0].comp * mult[1]
+        )
+        assert closed.agent_loads(4)[1].comp == pytest.approx(
+            plain.agent_loads(4)[1].comp
+        )
+
+    def test_measured_stage_work_not_double_counted(self):
+        # When stage_work was sampled, the growth is already in the
+        # counters; the multiplicity factor must not be applied on top.
+        stats = WorkloadStatistics(
+            rates=(1.0, 4.0, 1.0),
+            selectivities=(1.0, 0.5, 0.5),
+            match_rates=(2.0, 1.0, 0.5),
+            stage_work=(1.0, 3.0, 2.0),
+        )
+        plain = LoadModel(window=2.0, stats=stats, costs=CostParameters())
+        closed = LoadModel(
+            window=2.0,
+            stats=stats,
+            costs=CostParameters(),
+            kleene_stages=frozenset({1}),
+        )
+        assert [load.comp for load in closed.agent_loads(4)] == [
+            load.comp for load in plain.agent_loads(4)
+        ]
+
+
+class TestGuardRates:
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            WorkloadStatistics(
+                rates=(1.0, 1.0),
+                selectivities=(1.0, 0.5),
+                guard_rates=(1.0,),
+            )
+        with pytest.raises(AllocationError):
+            WorkloadStatistics(
+                rates=(1.0, 1.0),
+                selectivities=(1.0, 0.5),
+                guard_rates=(0.0, -1.0),
+            )
+
+    def test_guard_rate_of_defaults_to_zero(self):
+        stats = stats3()
+        assert all(stats.guard_rate_of(i) == 0.0 for i in range(3))
+
+    def test_guard_traffic_inflates_comp(self):
+        base = WorkloadStatistics(
+            rates=(1.0, 1.0, 1.0),
+            selectivities=(1.0, 0.1, 0.1),
+            match_rates=(2.0, 1.0, 0.5),
+        )
+        guarded = WorkloadStatistics(
+            rates=(1.0, 1.0, 1.0),
+            selectivities=(1.0, 0.1, 0.1),
+            match_rates=(2.0, 1.0, 0.5),
+            guard_rates=(0.0, 2.0, 0.0),
+        )
+        loads_base = LoadModel(
+            window=2.0, stats=base, costs=CostParameters()
+        ).agent_loads(4)
+        loads_guarded = LoadModel(
+            window=2.0, stats=guarded, costs=CostParameters()
+        ).agent_loads(4)
+        # Guard events scan agent 0's buffer (stage 1) without binding.
+        assert loads_guarded[0].comp > loads_base[0].comp
+        assert loads_guarded[1].comp == pytest.approx(loads_base[1].comp)
+
+    def test_estimate_statistics_fills_guard_rates(self):
+        events = make_stream(num_events=600, seed=11)
+        negated = Pattern.sequence(
+            ["A", "X", "C"], window=4.0, names=["p1", "p2", "p3"],
+            negated=[1],
+        )
+        stats = estimate_statistics(negated, events)
+        assert len(stats.guard_rates) == stats.num_stages
+        assert any(rate > 0.0 for rate in stats.guard_rates)
+        plain = estimate_statistics(
+            Pattern.sequence(["A", "C"], window=4.0), events
+        )
+        assert plain.guard_rates == ()

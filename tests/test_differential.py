@@ -205,3 +205,118 @@ def test_fitted_parameters_differ_from_defaults():
     events = workload(seed)
     fitted = fitted_parameters(pattern, events)
     assert fitted != CostParameters()
+
+
+# --------------------------------------------------------------------- #
+# Brute-force oracle differential                                        #
+# --------------------------------------------------------------------- #
+#
+# The oracle (tests/oracle.py) evaluates patterns by definition and
+# shares no code with any engine.  Every cell of this grid — operator
+# (Kleene/NEG) x selection/consumption policy x window x dataset — must
+# produce *identical match-key sets* across the oracle, the sequential
+# reference, the hybrid simulation (scalar and batched), and every
+# partition baseline.
+
+def _policy_variants(types, window, **base):
+    variants = []
+    for selection in ("skip-till-any-match", "skip-till-next-match"):
+        for consumption in ("reuse", "consume"):
+            variants.append(Pattern.sequence(
+                types, window=window, selection=selection,
+                consumption=consumption, **base,
+            ))
+    return variants
+
+
+def _trip_workload(seed: int):
+    from repro.datasets.trips import TripConfig, generate_trip_stream
+
+    return list(generate_trip_stream(TripConfig(
+        num_trips=30, num_bikes=4, dropout=0.3, seed=seed,
+    )))
+
+
+def _oracle_cells():
+    cells = []
+    for window in (4.0, 6.0):
+        for pattern in _policy_variants(["A", "B", "C"], window, kleene=[1]):
+            cells.append((pattern, "synthetic", 3))
+        for pattern in _policy_variants(
+            ["A", "X", "B"], window, negated=[1]
+        ):
+            cells.append((pattern, "synthetic", 4))
+    from repro.workloads.queries import trip_chain_query, trip_negation_query
+
+    for builder in (trip_chain_query, trip_negation_query):
+        for selection, consumption in (
+            (None, None), ("skip-till-next-match", "consume"),
+        ):
+            spec = builder(
+                4.0, selection=selection, consumption=consumption
+            )
+            cells.append((spec.pattern, "trips", 9))
+    return cells
+
+
+def _oracle_cell_id(cell):
+    pattern, dataset, _ = cell
+    shape = (
+        "kleene" if any(i.is_kleene for i in pattern.items)
+        else "negation" if any(i.is_negated for i in pattern.items)
+        else "seq"
+    )
+    return (
+        f"{dataset}-{shape}-w{pattern.window:g}-"
+        f"{pattern.selection.value}-{pattern.consumption.value}"
+    )
+
+
+ORACLE_CELLS = _oracle_cells()
+
+
+def _oracle_events(dataset: str, seed: int):
+    if dataset == "trips":
+        return _trip_workload(seed)
+    return make_stream(num_events=120, seed=seed)
+
+
+@pytest.mark.parametrize(
+    "pattern,dataset,seed", ORACLE_CELLS,
+    ids=[_oracle_cell_id(cell) for cell in ORACLE_CELLS],
+)
+def test_every_engine_matches_the_oracle(pattern, dataset, seed):
+    from tests.oracle import oracle_keys
+
+    events = _oracle_events(dataset, seed)
+    expected = oracle_keys(pattern, events)
+    assert reference_keys(pattern, events) == expected
+    for engine in partition_engines(pattern):
+        produced = {match.key for match in engine.run(events)}
+        assert produced == expected, type(engine).__name__
+    state = StateParallelEngine(pattern)
+    assert {match.key for match in state.run(events)} == expected
+    for batch_size in (1, 16):
+        sim = HypersonicSimulation(
+            pattern, NUM_UNITS, batch_size=batch_size
+        )
+        sim.run(events)
+        produced = {match.key for match in sim.matches}
+        assert produced == expected, f"batch_size={batch_size}"
+
+
+def test_oracle_grid_is_not_degenerate():
+    """At least one Kleene, one negation, and one trips cell of the grid
+    produce matches — otherwise the differential above proves nothing."""
+    from tests.oracle import oracle_keys
+
+    populated = set()
+    for pattern, dataset, seed in ORACLE_CELLS:
+        if oracle_keys(pattern, _oracle_events(dataset, seed)):
+            shape = (
+                "kleene" if any(i.is_kleene for i in pattern.items)
+                else "negation"
+            )
+            populated.add(shape)
+            populated.add(dataset)
+    assert {"kleene", "negation", "synthetic", "trips"} <= populated

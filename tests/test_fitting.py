@@ -111,6 +111,31 @@ class TestFitCostParameters:
         }
         assert isinstance(payload["improved"], bool)
 
+    def test_unrepresentable_cache_vertex_is_resolved(self):
+        """Regression: the underdetermined NNLS can land on an exact
+        solution with comparison == 0 but a positive cache coefficient —
+        unrepresentable as ``comparison * cache_penalty``, so the mapped
+        parameters used to silently forfeit that column and miss the
+        observed shares.  The fit must re-solve without the cache column
+        and recover the shares exactly."""
+        rows = [
+            (1.0, 1.0, 0.0, 0.0, 1.0),
+            (0.5, 1.0, 5.0, 0.0, 1.0),
+            (2.0, 1.0, 0.0, 2.0, 1.0),
+        ]
+        planted = CostParameters(
+            comparison=1.0, lock=0.0, queue_push=1.0,
+            cache_penalty=0.0, sync_overhead=0.0,
+        )
+        observed = predicted_shares(rows, [
+            planted.comparison, planted.lock, planted.queue_push,
+            planted.comparison * planted.cache_penalty,
+            planted.sync_overhead,
+        ])
+        fit = fit_cost_parameters(rows, observed, ridge=0.0)
+        for pred, obs in zip(fit.predicted_after, observed):
+            assert abs(pred - obs) < 1e-9
+
 
 class TestShareError:
     def test_zero_for_perfect_prediction(self):

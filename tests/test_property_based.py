@@ -231,3 +231,84 @@ def test_partial_match_extremes(stamps):
     assert pm.event_count() == len(stamps)
     match = Match.from_partial(pm)
     assert match.key == match_key(pm.binding)
+
+
+# --------------------------------------------------------------------- #
+# Oracle properties                                                      #
+# --------------------------------------------------------------------- #
+#
+# The brute-force oracle (tests/oracle.py) is itself a test asset, so it
+# gets definitional properties of its own: Kleene+ is the union of all
+# fixed-length SEQ expansions, negation over a stream with no negated
+# events degenerates to the plain pattern, and the selection/consumption
+# policies are pure refinements (subsets) of the skip-till-any set.
+
+from tests.oracle import oracle_keys  # noqa: E402
+
+
+@settings(max_examples=20, deadline=None)
+@given(events=event_streams(max_events=40),
+       window=st.sampled_from([3.0, 5.0]))
+def test_oracle_kleene_is_union_of_fixed_length_expansions(events, window):
+    kleene = Pattern.sequence(["A", "B", "C"], window=window, kleene=[1])
+    expected = oracle_keys(kleene, events)
+    union = set()
+    num_b = sum(1 for event in events if event.type.name == "B")
+    for n in range(1, num_b + 1):
+        names = ["p1"] + [f"k{j}" for j in range(n)] + ["p3"]
+        expansion = Pattern.sequence(
+            ["A"] + ["B"] * n + ["C"], window=window, names=names
+        )
+        for key in oracle_keys(expansion, events):
+            parts = dict(key)
+            union.add((
+                ("p1", parts["p1"]),
+                ("p2", tuple(parts[f"k{j}"] for j in range(n))),
+                ("p3", parts["p3"]),
+            ))
+    assert union == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(events=event_streams(max_events=60),
+       window=st.sampled_from([3.0, 6.0]))
+def test_oracle_negation_over_empty_negated_stream_is_plain(events, window):
+    events = [event for event in events if event.type.name != "X"]
+    negated = Pattern.sequence(
+        ["A", "X", "B"], window=window, names=["p1", "p2", "p3"],
+        negated=[1],
+    )
+    plain = Pattern.sequence(["A", "B"], window=window, names=["p1", "p3"])
+    assert oracle_keys(negated, events) == oracle_keys(plain, events)
+
+
+@settings(max_examples=20, deadline=None)
+@given(events=event_streams(max_events=50), with_kleene=st.booleans(),
+       window=st.sampled_from([3.0, 5.0]))
+def test_oracle_policies_refine_skip_till_any(events, with_kleene, window):
+    kwargs = {"kleene": [1]} if with_kleene else {}
+    def build(selection, consumption):
+        return Pattern.sequence(
+            ["A", "B", "C"], window=window, selection=selection,
+            consumption=consumption, **kwargs,
+        )
+    stam = oracle_keys(build("skip-till-any-match", "reuse"), events)
+    stnm = oracle_keys(build("skip-till-next-match", "reuse"), events)
+    consume = oracle_keys(build("skip-till-any-match", "consume"), events)
+    both = oracle_keys(build("skip-till-next-match", "consume"), events)
+    assert stnm <= stam
+    assert consume <= stam
+    assert both <= stam
+
+
+@settings(max_examples=20, deadline=None)
+@given(events=event_streams(max_events=60),
+       pattern_index=st.integers(0, len(PATTERNS) - 1))
+def test_oracle_equals_sequential_engine(events, pattern_index):
+    from repro.core.policies import resolve_matches
+
+    pattern = PATTERNS[pattern_index]
+    resolved = resolve_matches(
+        pattern, sequential_reference(pattern, events)
+    )
+    assert {match.key for match in resolved} == oracle_keys(pattern, events)

@@ -20,9 +20,12 @@ from repro.simulator import STRATEGIES, simulate
 from tests.make_sim_goldens import (
     GOLDEN_PATH,
     NUM_CORES,
+    TRIP_GOLDEN_PATH,
     golden_pattern,
     golden_workload,
     result_payload,
+    trip_pattern,
+    trip_workload,
 )
 
 
@@ -56,6 +59,21 @@ def test_paced_results_bit_identical(goldens, pattern, strategy):
         strategy, pattern, golden_workload(), num_cores=NUM_CORES, pace=3.0
     )
     assert _roundtrip(result) == goldens["paced"][strategy]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_trip_chain_results_bit_identical(strategy):
+    """The Kleene trip-chain workload has goldens of its own
+    (``trip_chain_goldens.json``) — every strategy's full SimResult on the
+    closure-heavy pattern is pinned, separately from the legacy file so
+    the pattern-language extension stays strictly additive."""
+    goldens = json.loads(TRIP_GOLDEN_PATH.read_text())
+    kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+    result = simulate(
+        strategy, trip_pattern(), trip_workload(), num_cores=NUM_CORES,
+        **kwargs,
+    )
+    assert _roundtrip(result) == goldens["closed_loop"][strategy]
 
 
 def test_measure_latency_bit_identical(goldens, pattern):
