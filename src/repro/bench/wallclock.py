@@ -1,0 +1,205 @@
+"""Wall-clock crossover scenario: does the simulator's who-wins hold?
+
+The figure-reproduction benchmarks rank strategies on the virtual clock;
+this scenario re-measures the headline comparison on real cores.  It runs
+the sequential engine single-process and the agent chain on the procs
+backend (:class:`repro.runtime.procs.ProcsPipelineEngine`), both timed
+with the wall clock, and checks that the simulator's predicted winner
+(hybrid vs. the single-unit baseline — the denominator of every relative
+gain) is also the measured winner.  The measured trace is then fed to
+:func:`repro.costmodel.fitting.fit_from_trace`, so the report carries
+fitted communication constants (the Mayer et al. window-based comm terms)
+alongside the crossover verdict — one command produces both the sanity
+check and the calibration inputs.
+
+Run it directly::
+
+    python -m repro.bench.wallclock --events 3000 --procs 4
+
+Exit status is nonzero when the procs backend's match-key set diverges
+from the sequential engine (the determinism contract) — the crossover
+verdict itself is informational, because a loaded CI runner cannot
+guarantee speedups, only correctness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import (
+    BenchScale,
+    build_query,
+    default_cache,
+    default_costs,
+    stock_events,
+)
+from repro.costmodel.fitting import fit_from_trace
+from repro.engine import SequentialEngine
+from repro.obs.tracer import TraceRecorder
+from repro.runtime.procs import ProcsPipelineEngine
+from repro.simulator.runner import simulate
+
+__all__ = ["WallclockReport", "run_wallclock", "format_wallclock_report"]
+
+
+@dataclass(frozen=True)
+class WallclockReport:
+    """Outcome of one wall-clock crossover run."""
+
+    events: int
+    procs: int
+    batch_size: int
+    start_method: str
+    #: Measured wall-clock throughput (events/s) per contender.
+    measured: dict
+    #: Virtual-clock throughput (events per model second) per contender.
+    simulated: dict
+    predicted_winner: str
+    measured_winner: str
+    #: True when simulator and wall clock crown the same winner.
+    crossover_holds: bool
+    #: True when the procs backend's match-key set equals the sequential
+    #: engine's — the hard correctness gate.
+    match_parity: bool
+    matches: int
+    #: Comm constants fitted from the measured trace (None when the trace
+    #: was not fittable).
+    fitted_comm: dict | None
+
+
+def run_wallclock(
+    num_events: int = 3000,
+    procs: int | None = None,
+    batch_size: int = 1,
+    start_method: str | None = None,
+    window: float = 30.0,
+    seed: int = 42,
+) -> WallclockReport:
+    """Measure hybrid-vs-sequential on real cores and fit comm constants."""
+    scale = BenchScale(num_events=num_events, seed=seed)
+    events = stock_events(scale)
+    spec = build_query("stocks", "seq", 3, window, events, scale)
+    pattern = spec.pattern
+
+    started = time.monotonic()
+    engine = SequentialEngine(pattern)
+    seq_matches = []
+    for event in events:
+        seq_matches.extend(engine.process(event))
+    seq_matches.extend(engine.close())
+    seq_elapsed = max(time.monotonic() - started, 1e-9)
+
+    tracer = TraceRecorder()
+    procs_engine = ProcsPipelineEngine(
+        pattern,
+        procs=procs,
+        start_method=start_method,
+        batch_size=batch_size,
+        tracer=tracer,
+    )
+    procs_matches = procs_engine.run(events)
+    procs_result = procs_engine.result
+
+    measured = {
+        "sequential": len(events) / seq_elapsed,
+        "hypersonic": procs_result.throughput,
+    }
+    costs = default_costs()
+    cache = default_cache()
+    simulated = {
+        name: simulate(
+            name, pattern, events, num_cores=procs_result.extra["procs"],
+            costs=costs, cache=cache,
+        ).throughput
+        for name in ("sequential", "hypersonic")
+    }
+    predicted = max(simulated, key=simulated.get)
+    observed = max(measured, key=measured.get)
+
+    fitted = None
+    fit = fit_from_trace(tracer)
+    if fit is not None:
+        params = fit.parameters.as_dict()
+        fitted = {
+            "comm_event": params["comm_event"],
+            "comm_match": params["comm_match"],
+        }
+
+    return WallclockReport(
+        events=len(events),
+        procs=procs_result.extra["procs"],
+        batch_size=batch_size,
+        start_method=procs_result.extra["start_method"],
+        measured=measured,
+        simulated=simulated,
+        predicted_winner=predicted,
+        measured_winner=observed,
+        crossover_holds=predicted == observed,
+        match_parity=(
+            {m.key for m in procs_matches} == {m.key for m in seq_matches}
+        ),
+        matches=len(procs_matches),
+        fitted_comm=fitted,
+    )
+
+
+def format_wallclock_report(report: WallclockReport) -> str:
+    lines = [
+        f"wallclock crossover: {report.events} events, "
+        f"{report.procs} procs ({report.start_method}), "
+        f"batch {report.batch_size}",
+        f"{'contender':12s} {'measured ev/s':>14s} {'simulated':>12s}",
+    ]
+    for name in sorted(report.measured):
+        lines.append(
+            f"{name:12s} {report.measured[name]:14.1f} "
+            f"{report.simulated[name]:12.4f}"
+        )
+    lines.append(
+        f"predicted winner: {report.predicted_winner}, measured winner: "
+        f"{report.measured_winner} "
+        f"({'crossover holds' if report.crossover_holds else 'DIVERGES'})"
+    )
+    lines.append(
+        f"match parity: {'ok' if report.match_parity else 'FAILED'} "
+        f"({report.matches} matches)"
+    )
+    if report.fitted_comm is not None:
+        lines.append(
+            "fitted comm constants: "
+            f"comm_event={report.fitted_comm['comm_event']:.6f} "
+            f"comm_match={report.fitted_comm['comm_match']:.6f}"
+        )
+    else:
+        lines.append("fitted comm constants: trace not fittable")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock who-wins crossover check"
+    )
+    parser.add_argument("--events", type=int, default=3000)
+    parser.add_argument("--procs", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--start-method", default=None,
+                        choices=["fork", "spawn", "forkserver"])
+    parser.add_argument("--window", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    report = run_wallclock(
+        num_events=args.events,
+        procs=args.procs,
+        batch_size=args.batch_size,
+        start_method=args.start_method,
+        window=args.window,
+        seed=args.seed,
+    )
+    print(format_wallclock_report(report))
+    return 0 if report.match_parity else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -142,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated strategy list",
     )
     sim.add_argument(
+        "--backend",
+        choices=["virtual", "procs"],
+        default="virtual",
+        help=(
+            "execution substrate: 'virtual' runs the discrete-event "
+            "simulators; 'procs' runs the hypersonic agent chain on real "
+            "worker processes and reports measured wall-clock numbers "
+            "(hypersonic strategy only; planner features are rejected)"
+        ),
+    )
+    sim.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker-process count for --backend procs "
+            "(default: --cores)"
+        ),
+    )
+    sim.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help=(
+            "multiprocessing start method for --backend procs "
+            "(default: platform default)"
+        ),
+    )
+    sim.add_argument(
         "--adapt",
         choices=["off", "on"],
         default="off",
@@ -613,6 +643,22 @@ def _command_simulate(args) -> int:
     cache = CacheModel(capacity_items=64.0, touch_cost=0.02)
     strategies = [name.strip() for name in args.strategies.split(",")]
     adapting = args.adapt == "on" or args.shed_bound > 0
+    if args.backend == "procs":
+        unsupported = [n for n in strategies if n != "hypersonic"]
+        if unsupported:
+            raise SystemExit(
+                "--backend procs runs the hypersonic agent chain only; "
+                f"drop {', '.join(unsupported)} from --strategies"
+            )
+        if adapting or args.pace is not None:
+            raise SystemExit(
+                "--backend procs does not support --adapt/--shed-bound/"
+                "--pace (planner features are virtual-clock-only)"
+            )
+    elif args.procs is not None or args.start_method is not None:
+        raise SystemExit(
+            "--procs/--start-method require --backend procs"
+        )
     slo_specs = _build_slo_specs(args, args.window)
     if adapting or slo_specs:
         unsupported = [
@@ -632,7 +678,18 @@ def _command_simulate(args) -> int:
         registry = MetricsRegistry()
     results = {}
     for strategy in strategies:
-        kwargs = {"agent_dynamic": True} if strategy == "hypersonic" else {}
+        if args.backend == "procs":
+            # Wall-clock backend: no planner features, so no
+            # agent_dynamic default; runner.simulate validates the rest.
+            kwargs = {
+                "backend": "procs",
+                "procs": args.procs,
+                "start_method": args.start_method,
+            }
+        else:
+            kwargs = (
+                {"agent_dynamic": True} if strategy == "hypersonic" else {}
+            )
         if args.pace is not None:
             kwargs["pace"] = args.pace
         if adapting:

@@ -12,8 +12,13 @@ PAPERS.md, reproduced on the simulator):
   the plan's feature decomposition
   (:meth:`~repro.costmodel.model.LoadModel.load_features`), solve a tiny
   non-negative least-squares problem for the constants
-  ``(comparison, lock, queue_push, cache_penalty, sync_overhead)`` that
-  minimise predicted-vs-observed share error.  Loads are *linear* in the
+  ``(comparison, lock, queue_push, cache_penalty, sync_overhead,
+  comm_event, comm_match)`` that
+  minimise predicted-vs-observed share error.  The two ``comm_*``
+  constants price IPC volume (window-based model of Mayer et al.,
+  arXiv:1705.05824); their feature columns are all-zero on in-process
+  traces and carry real communication volume on multiprocessing
+  (``--backend procs``) traces, so the same fitter calibrates both.  Loads are *linear* in the
   fitted coefficients, so the fit is deterministic coordinate descent on
   the normal equations — no randomness, no wall clock, no dependencies.
 * :func:`fit_from_trace` — the replayable entry point: consume a recorded
@@ -64,7 +69,7 @@ __all__ = [
     "autotune",
 ]
 
-#: Coordinate-descent sweep cap; the problem has <= 5 unknowns, so this is
+#: Coordinate-descent sweep cap; the problem has <= 7 unknowns, so this is
 #: far past convergence for any realistic conditioning.
 _MAX_SWEEPS = 400
 
@@ -81,6 +86,8 @@ def _coefficients(params: CostParameters) -> list[float]:
         params.queue_push,
         params.comparison * params.cache_penalty,
         params.sync_overhead,
+        params.comm_event,
+        params.comm_match,
     ]
 
 
@@ -94,10 +101,13 @@ def _parameters_from(coeffs: Sequence[float],
     stay on the customary work-unit scale and remain usable as simulator
     costs (where absolute magnitudes set the virtual clock).
     """
-    c, b, q, cg, s = (max(0.0, float(value)) for value in coeffs)
+    c, b, q, cg, s, ce, cm = (max(0.0, float(value)) for value in coeffs)
     if c > 0.0 and base.comparison > 0.0:
         scale = base.comparison / c
-        c, b, q, cg, s = c * scale, b * scale, q * scale, cg * scale, s * scale
+        c, b, q, cg, s, ce, cm = (
+            c * scale, b * scale, q * scale, cg * scale, s * scale,
+            ce * scale, cm * scale,
+        )
     return CostParameters(
         comparison=c,
         lock=b,
@@ -106,6 +116,8 @@ def _parameters_from(coeffs: Sequence[float],
         match_overhead=base.match_overhead,
         cache_penalty=cg / c if c > 0.0 else 0.0,
         sync_overhead=s,
+        comm_event=ce,
+        comm_match=cm,
     )
 
 
@@ -266,11 +278,15 @@ def fit_cost_parameters(
     total_obs = sum(clean_obs)
     if total_obs > 0:
         clean_obs = [value / total_obs for value in clean_obs]
+    # Traces recorded before the comm columns existed carry 5-wide rows;
+    # pad them with zeros so the comm coefficients are simply held at the
+    # incumbent (an all-zero column constrains nothing).
+    width = len(LOAD_FEATURE_NAMES)
     clean_feat = [
         tuple(
             value if math.isfinite(value) and value > 0.0 else 0.0
             for value in row
-        )
+        ) + (0.0,) * (width - len(row))
         for row in features
     ]
     start = _coefficients(base)

@@ -50,9 +50,14 @@ __all__ = [
 #: Names of the columns of :meth:`LoadModel.load_features`, in order.  The
 #: fourth column's fitted coefficient is ``comparison * cache_penalty``
 #: (the cache term multiplies the comparison work), the rest map directly
-#: onto :class:`CostParameters` fields.
+#: onto :class:`CostParameters` fields.  The two trailing ``comm_*``
+#: columns carry the window-based communication volumes of the
+#: multiprocessing backend (events and match payload crossing a process
+#: boundary per time unit); they are zero-cost under the default
+#: parameters, so virtual-clock engines are unaffected.
 LOAD_FEATURE_NAMES = (
     "comparison", "lock", "queue_push", "cache_penalty", "sync_overhead",
+    "comm_event", "comm_match",
 )
 
 # Truncation guard for the Kleene geometric series: enough terms for the
@@ -86,10 +91,21 @@ class CostParameters:
     # as before.
     cache_penalty: float = 0.0    # per (m_i * W) multiplier on comp_i
     sync_overhead: float = 0.0    # flat additive term on sync_i
+    # Window-based communication constants (Mayer et al., arXiv:1705.05824):
+    # when agents run in separate processes, every routed event and every
+    # event pointer of partial-match payload crosses an IPC boundary once
+    # per window it participates in.  ``comm_event`` prices one serialised
+    # event (or guard candidate) shipped to an agent's process;
+    # ``comm_match`` prices one event pointer of match payload forwarded
+    # between processes.  Both default to zero so the in-process engines
+    # — and every existing simulated clock — are bit-identical.
+    comm_event: float = 0.0       # per event routed over a process boundary
+    comm_match: float = 0.0       # per match-payload pointer shipped on
 
     def __post_init__(self) -> None:
         if min(self.comparison, self.lock, self.queue_push,
-               self.cache_penalty, self.sync_overhead) < 0:
+               self.cache_penalty, self.sync_overhead,
+               self.comm_event, self.comm_match) < 0:
             raise AllocationError("cost parameters must be non-negative")
 
     def as_dict(self) -> dict:
@@ -102,6 +118,8 @@ class CostParameters:
             "match_overhead": self.match_overhead,
             "cache_penalty": self.cache_penalty,
             "sync_overhead": self.sync_overhead,
+            "comm_event": self.comm_event,
+            "comm_match": self.comm_match,
         }
 
 
@@ -336,10 +354,11 @@ class AgentLoad:
     output_rate: float         # m_{i+1}
     comp: float                # comp_i = 2 c_i e_i m_i W
     sync: float                # sync_i = acc_i b_i + q_i m_{i+1}
+    comm: float = 0.0          # comm_i — IPC volume priced per window
 
     @property
     def total(self) -> float:
-        return self.comp + self.sync
+        return self.comp + self.sync + self.comm
 
 
 @dataclass(frozen=True)
@@ -426,6 +445,9 @@ class LoadModel:
         multiplicity = kleene_binding_multiplicities(
             self.stats, self.window, self.kleene_stages
         )
+        sizes = average_match_sizes(
+            self.stats, self.window, self.kleene_stages
+        )
         per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
         rows: list[tuple[float, ...]] = []
         for agent in range(num_agents):
@@ -447,8 +469,25 @@ class LoadModel:
                 min(outputs[agent], _RATE_CAP),
                 min(comp_base * m_i * self.window, _RATE_CAP),
                 1.0,
+                min(e_i + self.stats.guard_rate_of(stage), _RATE_CAP),
+                min(self._comm_match_volume(agent, arrival, outputs, sizes,
+                                            multiplicity), _RATE_CAP),
             ))
         return rows
+
+    def _comm_match_volume(self, agent: int, arrival: Sequence[float],
+                           outputs: Sequence[float],
+                           sizes: Sequence[float],
+                           multiplicity: Sequence[float]) -> float:
+        """Event pointers of match payload crossing agent *agent*'s process
+        boundary per time unit (window-based model of Mayer et al.): each
+        inbound partial carries ``a_i`` pointers, each emitted one carries
+        ``a_i`` plus the stage's expected binding multiplicity."""
+        stage = agent + 1
+        a_i = sizes[agent] if agent < len(sizes) else float(agent + 1)
+        inbound = arrival[agent] * a_i
+        outbound = outputs[agent] * (a_i + multiplicity[stage])
+        return inbound + outbound
 
     def agent_loads(self, total_units: int) -> list[AgentLoad]:
         """Per-agent loads under the equal-split approximation for acc_i.
@@ -463,6 +502,9 @@ class LoadModel:
         arrival, outputs = self._arrival_outputs()
         stage_work = self.stats.stage_work
         multiplicity = kleene_binding_multiplicities(
+            self.stats, self.window, self.kleene_stages
+        )
+        sizes = average_match_sizes(
             self.stats, self.window, self.kleene_stages
         )
         per_role = total_units / (2.0 * num_agents) if num_agents else 0.0
@@ -485,6 +527,15 @@ class LoadModel:
             sync = acc * self.costs.lock + self.costs.queue_push * outputs[agent]
             if self.costs.sync_overhead:
                 sync += self.costs.sync_overhead
+            comm = 0.0
+            if self.costs.comm_event or self.costs.comm_match:
+                comm = (
+                    self.costs.comm_event
+                    * (e_i + self.stats.guard_rate_of(stage))
+                    + self.costs.comm_match
+                    * self._comm_match_volume(agent, arrival, outputs,
+                                              sizes, multiplicity)
+                )
             loads.append(
                 AgentLoad(
                     agent=agent,
@@ -493,6 +544,7 @@ class LoadModel:
                     output_rate=outputs[agent],
                     comp=min(comp, _RATE_CAP),
                     sync=min(sync, _RATE_CAP),
+                    comm=min(comm, _RATE_CAP),
                 )
             )
         return loads

@@ -72,8 +72,22 @@ def simulate(
     shed_bound: int = 0,
     shed_policy: str | None = None,
     slos=None,
+    backend: str = "virtual",
+    procs: int | None = None,
+    start_method: str | None = None,
 ) -> SimResult:
     """Simulate one strategy; see module docstring for the options.
+
+    ``backend`` selects the execution substrate: ``"virtual"`` (default)
+    runs the discrete-event simulators on the virtual clock; ``"procs"``
+    runs the agent chain on real worker processes
+    (:class:`repro.runtime.procs.ProcsPipelineEngine`) and reports measured
+    wall-clock numbers.  The procs backend supports the plain hypersonic
+    agent chain only — planner-driven features (adaptation, shedding,
+    SLOs, fusion, migration) and latency passes are virtual-clock-only and
+    rejected up front.  ``procs`` is the worker-process count (defaults to
+    ``num_cores``) and ``start_method`` the multiprocessing start method
+    (``"fork"`` / ``"spawn"`` / ``"forkserver"``; None = platform default).
 
     ``slos`` (a sequence of :class:`repro.obs.slo.SloSpec`) attaches
     online SLO evaluation: verdicts land in ``extra["slo"]`` and, with
@@ -146,6 +160,61 @@ def simulate(
             "online adaptation, load shedding, and SLO evaluation require "
             f"an agent-chain strategy (hypersonic/state), not {strategy!r}"
         )
+    if backend not in ("virtual", "procs"):
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected 'virtual' or 'procs'"
+        )
+    if backend == "virtual":
+        if procs is not None:
+            raise SimulationError(
+                "procs is only meaningful with backend='procs'"
+            )
+        if start_method is not None:
+            raise SimulationError(
+                "start_method is only meaningful with backend='procs'"
+            )
+    else:
+        if procs is not None and procs < 1:
+            raise SimulationError(f"procs must be >= 1, got {procs}")
+        if start_method is not None and start_method not in (
+            "fork", "spawn", "forkserver"
+        ):
+            raise SimulationError(
+                f"unknown start_method {start_method!r}; expected "
+                "'fork', 'spawn', or 'forkserver'"
+            )
+        if strategy != "hypersonic":
+            raise SimulationError(
+                "backend='procs' runs the hypersonic agent chain only, "
+                f"not {strategy!r}"
+            )
+        unsupported = []
+        if adapt == "on":
+            unsupported.append("adapt='on'")
+        if shed_bound > 0:
+            unsupported.append("shed_bound")
+        if slos:
+            unsupported.append("slos")
+        if fusion or force_fusion_pairs:
+            unsupported.append("fusion")
+        if agent_dynamic:
+            unsupported.append("agent_dynamic")
+        if measure_latency:
+            unsupported.append("measure_latency")
+        if pace is not None:
+            unsupported.append("pace")
+        if unsupported:
+            raise SimulationError(
+                "backend='procs' does not support "
+                + ", ".join(unsupported)
+                + "; these are virtual-clock (planner) features — drop "
+                "them or use backend='virtual'"
+            )
+        return _run_procs(
+            pattern, events, num_cores, procs=procs,
+            start_method=start_method, batch_size=batch_size,
+            costs=costs, tracer=tracer,
+        )
     source = as_source(events)
     if inflight_cap is None:
         # Scale channel capacity with the core count so every strategy can
@@ -198,6 +267,31 @@ def simulate(
     capacity.max_latency = paced.max_latency
     capacity.extra["latency_pace"] = pace
     return capacity
+
+
+def _run_procs(
+    pattern: Pattern,
+    events: Iterable[Event] | WorkloadSource,
+    num_cores: int,
+    procs: int | None,
+    start_method: str | None,
+    batch_size: int,
+    costs: CostParameters | None,
+    tracer: Tracer | None,
+) -> SimResult:
+    """Run the wall-clock multiprocessing backend and return its result."""
+    from repro.runtime.procs import ProcsPipelineEngine
+
+    engine = ProcsPipelineEngine(
+        pattern,
+        procs=procs if procs is not None else num_cores,
+        start_method=start_method,
+        batch_size=batch_size,
+        tracer=tracer,
+        costs=costs,
+    )
+    engine.run(as_source(events))
+    return engine.result
 
 
 def _run_once(

@@ -67,3 +67,63 @@ class TestSimulateValidation:
             allocation="equal", chunk_size=16, latency_load=0.5,
         )
         assert result.matches >= 0
+
+
+class TestBackendValidation:
+    """The --backend/--procs combos fail fast with a clear message — a
+    procs run with a planner feature must never hang or die deep inside
+    the worker pool."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     backend="processes")
+        assert "virtual" in str(err.value) and "procs" in str(err.value)
+
+    def test_procs_without_procs_backend_rejected(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2, procs=2)
+        assert "backend" in str(err.value)
+
+    def test_start_method_without_procs_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     start_method="spawn")
+
+    def test_procs_backend_requires_hypersonic(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("rip", PATTERN, EVENTS, num_cores=2, backend="procs")
+        assert "hypersonic" in str(err.value)
+
+    @pytest.mark.parametrize("procs", [0, -3])
+    def test_nonpositive_procs_rejected(self, procs):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     backend="procs", procs=procs)
+        assert str(procs) in str(err.value)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     backend="procs", start_method="clone")
+        assert "clone" in str(err.value)
+
+    def test_procs_with_adapt_rejected_with_clear_message(self):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     backend="procs", adapt="on")
+        message = str(err.value)
+        assert "adapt" in message and "virtual" in message
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shed_bound": 8},
+        {"fusion": True},
+        {"agent_dynamic": True},
+        {"measure_latency": True},
+        {"pace": 0.5},
+    ])
+    def test_procs_with_planner_features_rejected(self, kwargs):
+        with pytest.raises(SimulationError) as err:
+            simulate("hypersonic", PATTERN, EVENTS, num_cores=2,
+                     backend="procs", **kwargs)
+        assert "procs" in str(err.value)
